@@ -1,0 +1,54 @@
+"""Ablation — tree vs ring allreduce across payload sizes.
+
+finish's scalar reductions want the latency-optimal tree; bulk array
+reductions (the collectives "vision" of §II-C.3) want the bandwidth-
+optimal ring.  This bench locates the crossover on the default machine.
+"""
+
+import numpy as np
+
+from repro import MachineParams, run_spmd
+from repro.harness.reporting import Table, format_seconds
+
+SIZES = (8, 512, 8192, 131072)
+IMAGES = 8
+
+
+def _run(kind: str, size: int) -> float:
+    def kernel(img):
+        arr = np.ones(size, dtype=np.float64)
+        if kind == "tree":
+            _ = yield from img.allreduce(arr)
+        else:
+            yield from img.ring_allreduce(arr)
+        return img.now
+
+    params = MachineParams.uniform(IMAGES, wire_latency=1e-6,
+                                   bandwidth=1e9, o_send=1e-7,
+                                   o_recv=1e-7)
+    _m, times = run_spmd(kernel, IMAGES, params=params)
+    return max(times)
+
+
+def test_ablation_allreduce_algorithm(once):
+    def experiment():
+        results = {}
+        table = Table(
+            f"Ablation — allreduce algorithm vs payload ({IMAGES} images)",
+            ["elements", "tree (latency-opt)", "ring (bandwidth-opt)",
+             "winner"],
+        )
+        for size in SIZES:
+            tree = _run("tree", size)
+            ring = _run("ring", size)
+            results[size] = (tree, ring)
+            table.add_row([size, format_seconds(tree),
+                           format_seconds(ring),
+                           "tree" if tree < ring else "ring"])
+        table.print()
+        return results
+
+    results = once(experiment)
+    # small payloads: log-depth tree wins; big payloads: ring wins
+    assert results[8][0] < results[8][1]
+    assert results[131072][1] < results[131072][0]

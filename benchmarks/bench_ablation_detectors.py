@@ -1,0 +1,59 @@
+"""Ablation — the four sound termination detectors on the same UTS run.
+
+Exposes the §V structural comparison: the epoch algorithm needs a single
+wave on quiet finishes where Mattern's four-counter scheme always pays a
+second confirming reduction, and the X10-style centralized scheme
+concentrates O(p^2) report traffic at the finish owner."""
+
+from repro.harness import ablation_detectors
+from repro.core.termination import get_detector
+from repro.runtime.program import run_spmd
+
+
+def test_ablation_detectors_on_uts(once):
+    results = once(ablation_detectors, n_images=8)
+    for det, row in results.items():
+        assert row["total_nodes"] == results["epoch"]["total_nodes"]
+    assert results["epoch"]["rounds"] < results["wave_unbounded"]["rounds"]
+    assert results["vector_count"]["owner_bytes"] > 0
+    assert results["epoch"]["owner_bytes"] == 0
+
+
+def test_four_counter_extra_round_on_quiet_finish(benchmark):
+    """The §V claim in isolation: on an already-quiet finish the paper's
+    algorithm detects in one wave; four-counter needs two."""
+
+    def kernel(img, detector):
+        yield from img.finish_begin()
+        return (yield from img.finish_end(detector=detector))
+
+    def run():
+        _m, ours = run_spmd(kernel, 8, args=("epoch",))
+        _m, fc = run_spmd(kernel, 8, args=("four_counter",))
+        return ours[0], fc[0]
+
+    ours, fc = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert ours == 1
+    assert fc == 2
+
+
+def test_vector_count_owner_traffic_scales_superlinearly(benchmark):
+    """Owner-side bytes grow faster than p (vectors of size p from p
+    images)."""
+    from repro.apps.uts import TreeParams, UTSConfig, run_uts
+    from repro.runtime.program import Machine
+    from repro.apps.uts import uts_kernel
+
+    def run():
+        traffic = {}
+        for n in (4, 8, 16):
+            machine = Machine(n)
+            machine.launch(uts_kernel, args=(UTSConfig(
+                tree=TreeParams(max_depth=6),
+                detector="vector_count"),))
+            machine.run()
+            traffic[n] = machine.stats["term.vector.owner_bytes"]
+        return traffic
+
+    traffic = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert traffic[16] > 4 * traffic[4]

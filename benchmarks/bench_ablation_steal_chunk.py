@@ -1,0 +1,15 @@
+"""Ablation — §IV-C.1a "amount to steal": the AM medium payload cap
+bounds how much work one steal can move (9 items at the paper's
+defaults).  Tiny caps make every transfer a trickle; huge caps
+destabilize victims (they give away whole queues and re-steal)."""
+
+from repro.harness import ablation_steal_chunk
+
+
+def test_ablation_steal_chunk(once):
+    results = once(ablation_steal_chunk, medium_sizes=(80, 256, 800),
+                   n_images=16)
+    assert results[80]["chunk"] < results[256]["chunk"] < results[800]["chunk"]
+    assert results[256]["chunk"] == 9  # the paper's constraint
+    # steal traffic grows when victims hand out oversized chunks
+    assert results[800]["steals"] > results[256]["steals"]

@@ -1,0 +1,19 @@
+"""Ablation — radix of the reduction tree driving finish's allreduce.
+
+With per-message overhead small relative to wire latency, wider trees
+(fewer levels) make each termination wave cheaper; the crossover moves
+with o_send.  finish's critical path O((L+1) log p) carries the tree
+depth directly, so this knob is the constant in Fig. 12's finish curve.
+"""
+
+from repro.harness import ablation_tree_radix
+
+
+def test_ablation_tree_radix(once):
+    results = once(ablation_tree_radix, radixes=(2, 4, 8), n_images=32)
+    # at default parameters (latency-dominated) wider is cheaper
+    assert results[8] < results[2]
+    # but every radix stays within a small constant of the best
+    best = min(results.values())
+    for t in results.values():
+        assert t < 4 * best

@@ -1,0 +1,10 @@
+"""Fig. 5 — barrier-based termination detection fails under transitive
+spawns; the epoch-based finish does not."""
+
+from repro.harness import fig05_barrier_failure
+
+
+def test_fig05_barrier_failure(once):
+    outcomes = once(fig05_barrier_failure)
+    assert outcomes["barrier"]["sound"] is False
+    assert outcomes["epoch"]["sound"] is True

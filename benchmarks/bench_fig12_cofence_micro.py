@@ -1,0 +1,23 @@
+"""Fig. 12 — the cofence micro-benchmark: local data completion
+(cofence) vs local operation completion (events) vs global completion
+(finish) for a producer-consumer round of 80-byte copies.
+
+Paper (128-1024 cores, 10^6 iterations): cofence 36-42 s, events
+40-52 s, finish 61-119 s.  Scaled here; the reproduction target is the
+ordering and the finish curve's log-p growth."""
+
+from repro.harness import fig12_cofence_micro
+
+CORES = (8, 16, 32, 64)
+
+
+def test_fig12_cofence_micro(once):
+    results = once(fig12_cofence_micro, cores=CORES, iterations=50)
+    for n in CORES:
+        assert results["cofence"][n] < results["events"][n] < results["finish"][n]
+    # The finish variant's cost grows with team size; cofence's does not
+    # (beyond the jitter of random destinations).
+    assert results["finish"][64] > results["finish"][8]
+    ratio_small = results["finish"][8] / results["cofence"][8]
+    ratio_large = results["finish"][64] / results["cofence"][64]
+    assert ratio_large > ratio_small * 0.9

@@ -1,0 +1,32 @@
+"""Fig. 13 — RandomAccess: get-update-put vs function shipping with
+varying finish-invocation counts, across team sizes.
+
+Paper (32-8192 cores, 8 MB tables): the FS implementation is comparable
+to the RDMA get-update-put one, and the number of finish invocations
+makes no dramatic difference."""
+
+from repro.harness import fig13_randomaccess_scaling
+
+CORES = (2, 4, 8, 16, 32)
+
+
+def test_fig13_randomaccess_scaling(once):
+    results = once(
+        fig13_randomaccess_scaling,
+        cores=CORES,
+        updates_per_image=256,
+        finish_granularities=(2, 4, 8),
+    )
+    fs_variants = [k for k in results if k.startswith("FS")]
+    for n in (8, 16, 32):
+        ref = results["get-update-put"][n]
+        for v in fs_variants:
+            # "comparable": within a small factor either way
+            assert results[v][n] < 4 * ref
+            assert results[v][n] > ref / 8
+    # Varying the finish count changes FS time by far less than the
+    # factor-of-4 change in synchronization volume.
+    for n in (16, 32):
+        lo = min(results[v][n] for v in fs_variants)
+        hi = max(results[v][n] for v in fs_variants)
+        assert hi / lo < 4

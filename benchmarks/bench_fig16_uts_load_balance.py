@@ -1,0 +1,19 @@
+"""Fig. 16 — UTS load balance: relative per-image work fractions.
+
+Paper (2048/4096/8192 processes): fractions within [0.989, 1.008] at
+2048 and widening to [0.980, 1.037] at 8192.  Scaled to 8/16/32 images;
+the reproduction target is a tight band that widens with team size."""
+
+from repro.harness import fig16_uts_load_balance
+
+CORES = (8, 16, 32)
+
+
+def test_fig16_uts_load_balance(once):
+    results = once(fig16_uts_load_balance, cores=CORES)
+    for n in CORES:
+        assert 0.9 < results[n]["min"] <= 1.0
+        assert 1.0 <= results[n]["max"] < 1.1
+    spreads = [results[n]["max"] - results[n]["min"] for n in CORES]
+    # variance grows with process count (paper's observation)
+    assert spreads[0] < spreads[-1]

@@ -1,0 +1,21 @@
+"""Fig. 17 — UTS parallel efficiency.
+
+Paper (256-32768 processes): 0.80 at 256 cores falling gently to 0.74
+at 32K.  Scaled to 2-64 images on a 77k-node geometric tree: the small
+end of our sweep sits near 1.0 (trivially easy at 2 images), and the
+large end lands in the paper's 0.74-0.80 band."""
+
+from repro.harness import fig17_uts_efficiency
+
+CORES = (2, 4, 8, 16, 32, 64)
+
+
+def test_fig17_uts_efficiency(once):
+    results = once(fig17_uts_efficiency, cores=CORES)
+    # monotone, gentle decline
+    effs = [results[n] for n in CORES]
+    for a, b in zip(effs, effs[1:]):
+        assert b <= a * 1.02
+    # the scaled analogue of the paper's band at the top of the sweep
+    assert 0.70 <= results[64] <= 0.90
+    assert results[2] > 0.95

@@ -1,0 +1,27 @@
+"""Fig. 18 — rounds of allreduce used for termination detection in UTS:
+the paper's algorithm vs wave baselines without the line-4 wait
+precondition.
+
+Paper (128-2048 cores): its baseline needs roughly twice the rounds.
+Two simulated baselines bracket that measurement: ``wave_drain`` (keeps
+only the inbox-drain half of the wait) needs slightly more rounds than
+ours; ``wave_unbounded`` (no wait at all) over-spins hard at small team
+sizes and converges toward the paper's ~2x as the team grows.  The
+reproduction target: ours <= drain-only < free-spinning, with the
+free-spinning ratio falling toward ~2x with scale."""
+
+from repro.harness import fig18_allreduce_rounds
+
+CORES = (8, 16, 32, 64)
+
+
+def test_fig18_allreduce_rounds(once):
+    results = once(fig18_allreduce_rounds, cores=CORES)
+    for n in CORES:
+        assert results["epoch"][n] <= results["wave_drain"][n]
+        assert results["wave_drain"][n] < results["wave_unbounded"][n]
+    # the free-spinning ratio shrinks toward the paper's ~2x with scale
+    ratios = [results["wave_unbounded"][n] / results["epoch"][n]
+              for n in CORES]
+    assert ratios[-1] < ratios[0]
+    assert ratios[-1] >= 1.5

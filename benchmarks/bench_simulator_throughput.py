@@ -1,0 +1,71 @@
+"""Meta-benchmark: raw throughput of the simulation substrate itself.
+
+Not a paper figure — this measures the machine the reproduction runs
+*on*, so regressions in the event loop or the AM stack show up directly
+(the per-event cost bounds the problem sizes every other bench can
+afford)."""
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.tasks import Delay, Task
+from repro.runtime.program import run_spmd
+
+
+def test_raw_event_loop_throughput(benchmark):
+    """Pure engine: schedule/execute chains of null events."""
+    N = 50_000
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < N:
+                sim.schedule(1e-9, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == N
+
+
+def test_task_switch_throughput(benchmark):
+    """Generator tasks yielding delays (the hot path of every kernel)."""
+    STEPS, TASKS = 2_000, 8
+
+    def run():
+        sim = Simulator()
+
+        def worker():
+            for _ in range(STEPS):
+                yield Delay(1e-9)
+
+        tasks = [Task(sim, worker()) for _ in range(TASKS)]
+        sim.run()
+        return all(t.done_future.done for t in tasks)
+
+    assert benchmark(run)
+
+
+def test_am_round_trip_throughput(benchmark):
+    """Full-stack messaging: spawn round trips through AM + transport +
+    finish counting."""
+    ROUNDS = 300
+
+    def remote(img):
+        yield from img.compute(1e-8)
+
+    def kernel(img):
+        yield from img.finish_begin()
+        for _ in range(ROUNDS):
+            yield from img.spawn(remote, (img.rank + 1) % img.nimages)
+        yield from img.finish_end()
+
+    def run():
+        machine, _ = run_spmd(kernel, 4)
+        return machine.stats["spawn.executed"]
+
+    assert benchmark(run) == 4 * ROUNDS

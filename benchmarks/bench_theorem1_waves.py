@@ -1,0 +1,15 @@
+"""Theorem 1 — the detector uses at most L+1 reduction waves for a
+spawn chain of length L (and exactly L+1 on an adversarial chain whose
+every hop straddles a wave)."""
+
+from repro.harness import theorem1_waves
+
+CHAINS = (1, 2, 4, 8)
+
+
+def test_theorem1_wave_bound(once):
+    results = once(theorem1_waves, chain_lengths=CHAINS)
+    for length in CHAINS:
+        assert results[length]["waves"] <= results[length]["bound"]
+    # adversarial chains actually reach the bound (it is tight)
+    assert results[8]["waves"] == 9

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Export a chrome://tracing timeline of a finish + work-stealing run.
+
+Produces ``uts_trace.json``; open chrome://tracing (or
+https://ui.perfetto.dev) and load it to see per-image compute spans,
+message arrows, and the finish detector's reduction waves.
+
+    python examples/trace_demo.py [--images N] [--out FILE]
+"""
+
+import argparse
+
+from repro.runtime.program import Machine
+from repro.sim.chrometrace import ChromeTracer
+from repro.apps.uts import TreeParams, UTSConfig, uts_kernel
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--images", type=int, default=8)
+    parser.add_argument("--depth", type=int, default=6)
+    parser.add_argument("--out", default="uts_trace.json")
+    args = parser.parse_args()
+
+    tracer = ChromeTracer()
+    machine = Machine(args.images, tracer=tracer)
+    config = UTSConfig(tree=TreeParams(max_depth=args.depth))
+    machine.launch(uts_kernel, args=(config,))
+    results = machine.run()
+
+    tracer.save(args.out)
+    print(f"counted {sum(results)} UTS nodes on {args.images} images "
+          f"in {machine.sim.now * 1e3:.3f} ms simulated")
+    print(f"wrote {len(tracer)} trace events to {args.out}")
+    print("open chrome://tracing or https://ui.perfetto.dev and load it")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Fig. 2 vs Fig. 3: why function shipping exists.
+
+Runs the same randomized steal workload twice — once with Dinan et
+al.'s 5-round-trip get/lock/put protocol (paper Fig. 2), once with the
+shipped-function protocol that localizes all of it at the victim (paper
+Fig. 3) — and reports latency and message counts.
+
+    python examples/work_stealing_demo.py [--images N]
+"""
+
+import argparse
+
+from repro.apps.work_stealing import WSConfig, run_work_stealing
+from repro.harness.reporting import Table, format_seconds
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--images", type=int, default=4)
+    parser.add_argument("--tasks", type=int, default=256)
+    parser.add_argument("--chunk", type=int, default=4)
+    parser.add_argument("--steals", type=int, default=8)
+    args = parser.parse_args()
+
+    table = Table(
+        "steal protocol comparison (victim = image 0)",
+        ["protocol", "mean steal latency", "messages", "tasks stolen"],
+    )
+    rows = {}
+    for protocol in ("get-put", "shipped"):
+        r = run_work_stealing(args.images, WSConfig(
+            protocol=protocol, initial_tasks=args.tasks,
+            steal_chunk=args.chunk, steals_per_thief=args.steals))
+        rows[protocol] = r
+        table.add_row([
+            protocol, format_seconds(r.mean_steal_latency),
+            r.messages, r.tasks_stolen,
+        ])
+    table.print()
+
+    speedup = (rows["get-put"].mean_steal_latency
+               / rows["shipped"].mean_steal_latency)
+    print(f"shipped-function steals are {speedup:.1f}x faster "
+          f"(paper: 5 round trips -> 2 one-way spawns)")
+
+
+if __name__ == "__main__":
+    main()

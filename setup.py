@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP-517 build isolation (offline).
+
+All real metadata lives in pyproject.toml; this file only enables legacy
+``pip install -e . --no-use-pep517`` / ``python setup.py develop`` installs
+on machines that lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Benchmark applications from the paper's evaluation (§IV).
+
+- :mod:`repro.apps.uts` — Unbalanced Tree Search with lifeline-based
+  work stealing over function shipping and finish (§IV-C);
+- :mod:`repro.apps.randomaccess` — HPC Challenge RandomAccess in the
+  reference get-update-put form and the function-shipping form (§IV-B);
+- :mod:`repro.apps.producer_consumer` — the cofence/events/finish
+  micro-benchmark of Fig. 11/12 (§IV-A);
+- :mod:`repro.apps.work_stealing` — the Fig. 2 vs Fig. 3 steal-protocol
+  comparison (5 round trips vs 2).
+"""
+
+from repro.apps.uts import TreeParams, UTSConfig, run_uts, sequential_tree_size
+from repro.apps.randomaccess import RAConfig, run_randomaccess
+from repro.apps.producer_consumer import PCConfig, run_producer_consumer
+from repro.apps.work_stealing import WSConfig, run_work_stealing
+
+__all__ = [
+    "TreeParams",
+    "UTSConfig",
+    "run_uts",
+    "sequential_tree_size",
+    "RAConfig",
+    "run_randomaccess",
+    "PCConfig",
+    "run_producer_consumer",
+    "WSConfig",
+    "run_work_stealing",
+]

@@ -1,0 +1,185 @@
+"""The Fig. 2 vs Fig. 3 steal-protocol comparison.
+
+Dinan et al.'s PGAS work-stealing loop (paper Fig. 2) performs a steal
+attempt with five network round trips — get metadata, lock, re-get
+metadata, put reserved metadata + get stolen work, unlock.  Rewriting the
+steal as a shipped function (Fig. 3) localizes every one of those
+operations at the victim and needs two one-way spawns.
+
+This module implements both protocols against the same victim task-queue
+substrate so examples and benchmarks can measure the round-trip savings
+directly (the paper's motivation for function shipping, §II-C.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+
+@dataclass
+class WSConfig:
+    """One experiment: every non-victim image performs ``steals_per_thief``
+    steal attempts against image 0's queue."""
+
+    initial_tasks: int = 256
+    steal_chunk: int = 4
+    steals_per_thief: int = 8
+    protocol: str = "shipped"  # or "get-put"
+
+    def __post_init__(self) -> None:
+        if self.protocol not in ("shipped", "get-put"):
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if min(self.initial_tasks, self.steal_chunk,
+               self.steals_per_thief) <= 0:
+            raise ValueError("all sizes must be positive")
+
+
+@dataclass
+class WSResult:
+    sim_time: float
+    tasks_stolen: int
+    steal_attempts: int
+    messages: int
+    mean_steal_latency: float
+
+
+def _queues(machine) -> dict:
+    return machine.scratch.setdefault("ws.queues", {})
+
+
+def _setup(machine, config: WSConfig) -> None:
+    # metadata[0] = number of available tasks on the image
+    machine.coarray("ws_metadata", shape=1, dtype=np.int64)
+    machine.make_lock(name="ws_lock")
+    machine.coarray_by_name("ws_metadata").local_at(0)[0] = config.initial_tasks
+    _queues(machine)[0] = list(range(config.initial_tasks))
+
+
+# --------------------------------------------------------------------- #
+# Fig. 2: five round trips per attempt
+# --------------------------------------------------------------------- #
+
+def steal_get_put(img, victim: int, chunk: int
+                  ) -> Generator[Any, Any, int]:
+    """One Fig. 2 steal attempt; returns the number of tasks stolen."""
+    machine = img.machine
+    meta = machine.coarray_by_name("ws_metadata")
+    lock = machine.lock_by_name("ws_lock")
+
+    m = yield from img.get(meta.ref(victim, 0))            # trip 1
+    if m <= 0:
+        return 0
+    yield from lock.acquire(img, victim)                   # trip 2
+    try:
+        m = yield from img.get(meta.ref(victim, 0))        # trip 3
+        if m <= 0:
+            return 0
+        w = min(int(m), chunk)
+        yield from img.put(meta.ref(victim, 0),
+                           np.int64(int(m) - w))           # trip 4
+        # trip 5: fetch the reserved tasks (queue transfer modeled as a
+        # get of w words; the items move through machine scratch)
+        victim_queue = _queues(machine).setdefault(victim, [])
+        stolen, victim_queue[:w] = victim_queue[:w], []
+        _ = yield from img.get(meta.ref(victim, 0))
+        _queues(machine).setdefault(img.rank, []).extend(stolen)
+        return len(stolen)
+    finally:
+        lock.release(img, victim)                          # one-way
+
+
+# --------------------------------------------------------------------- #
+# Fig. 3: two one-way spawns per attempt
+# --------------------------------------------------------------------- #
+
+def _provide_work(img, items, token) -> Generator[Any, Any, None]:
+    """Shipped back to the thief with the stolen tasks."""
+    machine = img.machine
+    _queues(machine).setdefault(img.rank, []).extend(items)
+    machine.scratch[("ws.done", token)](len(items))
+    yield from img.compute(1e-7)
+
+
+def _steal_work(img, thief: int, chunk: int, token
+                ) -> Generator[Any, Any, None]:
+    """Shipped to the victim: the whole Fig. 2 body with every remote
+    operation now local."""
+    machine = img.machine
+    meta = machine.coarray_by_name("ws_metadata")
+    lock = machine.lock_by_name("ws_lock")
+    local_meta = meta.local_at(img.rank)
+    if local_meta[0] > 0:
+        yield from lock.acquire(img, img.team_rank())  # local: no trip
+        try:
+            m = int(local_meta[0])
+            if m > 0:
+                w = min(m, chunk)
+                local_meta[0] = m - w
+                queue = _queues(machine).setdefault(img.rank, [])
+                stolen, queue[:w] = queue[:w], []
+                yield from img.spawn(_provide_work, thief, stolen, token)
+                return
+        finally:
+            lock.release(img, img.team_rank())
+    machine.scratch[("ws.done", token)](0)
+
+
+def steal_shipped(img, victim: int, chunk: int
+                  ) -> Generator[Any, Any, int]:
+    """One Fig. 3 steal attempt; returns the number of tasks stolen."""
+    machine = img.machine
+    from repro.sim.tasks import Future
+    token = machine.next_token()
+    outcome = Future(f"ws.steal{token}")
+    machine.scratch[("ws.done", token)] = outcome.set_result
+    yield from img.spawn(_steal_work, victim, img.team_rank(), chunk, token)
+    count = yield outcome
+    del machine.scratch[("ws.done", token)]
+    return int(count)
+
+
+# --------------------------------------------------------------------- #
+# The experiment
+# --------------------------------------------------------------------- #
+
+def ws_kernel(img, config: WSConfig) -> Generator[Any, Any, tuple]:
+    stolen = 0
+    attempts = 0
+    latencies = []
+    yield from img.finish_begin()
+    if img.rank != 0:
+        for _ in range(config.steals_per_thief):
+            t0 = img.now
+            if config.protocol == "shipped":
+                got = yield from steal_shipped(img, 0, config.steal_chunk)
+            else:
+                got = yield from steal_get_put(img, 0, config.steal_chunk)
+            latencies.append(img.now - t0)
+            attempts += 1
+            stolen += got
+    yield from img.finish_end()
+    return (stolen, attempts, latencies)
+
+
+def run_work_stealing(n_images: int, config: Optional[WSConfig] = None,
+                      params=None, seed: int = 0) -> WSResult:
+    """Run the protocol experiment; returns aggregate steal metrics."""
+    from repro.runtime.program import run_spmd
+
+    config = config if config is not None else WSConfig()
+    machine, results = run_spmd(
+        ws_kernel, n_images, params=params, seed=seed, args=(config,),
+        setup=lambda m: _setup(m, config),
+    )
+    all_latencies = [t for _s, _a, lat in results for t in lat]
+    return WSResult(
+        sim_time=machine.sim.now,
+        tasks_stolen=sum(s for s, _a, _l in results),
+        steal_attempts=sum(a for _s, a, _l in results),
+        messages=machine.stats["net.msgs"],
+        mean_steal_latency=(sum(all_latencies) / len(all_latencies)
+                            if all_latencies else 0.0),
+    )

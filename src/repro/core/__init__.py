@@ -1,0 +1,20 @@
+"""The paper's primary contribution: asynchronous operations and the
+constructs that manage their completion.
+
+- :mod:`repro.core.completion` — the four completion points of Fig. 1 as
+  first-class futures on every asynchronous operation;
+- :mod:`repro.core.copy_async` — predicated asynchronous copies (§II-C.1);
+- :mod:`repro.core.spawn` — function shipping (§II-C.2);
+- :mod:`repro.core.collectives` — synchronous and asynchronous team
+  collectives (§II-C.3), including the allreduce that drives finish;
+- :mod:`repro.core.cofence` — local-data-completion fences with
+  directional class filters (§III-B);
+- :mod:`repro.core.finish` — the SPMD global-completion construct
+  (§III-A) over the epoch termination-detection algorithm (Fig. 7);
+- :mod:`repro.core.termination` — the paper's detector plus the baseline
+  algorithms it is compared against.
+"""
+
+from repro.core.completion import AsyncOp
+
+__all__ = ["AsyncOp"]

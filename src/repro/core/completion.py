@@ -1,0 +1,69 @@
+"""The four completion points of an asynchronous operation (paper Fig. 1).
+
+Every asynchronous operation in the runtime returns an :class:`AsyncOp`
+carrying one future per completion point:
+
+- ``initiated``     — the operation has been queued for execution
+  (always resolved by the time the initiating call returns);
+- ``local_data``    — inputs on the initiator may be overwritten, outputs
+  on the initiator may be read (what ``cofence`` waits for);
+- ``local_op``      — all pair-wise communication involving the initiator
+  is complete (what an attached event signals);
+- ``global_done``   — the operation is complete on every participating
+  image (what ``finish`` guarantees for implicit operations).
+
+The invariant ``local_data ≤ local_op ≤ global_done`` (in time) holds for
+every operation; tests assert it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.tasks import Future
+from repro.runtime.memory_model import PendingOp
+
+
+class AsyncOp:
+    """Handle for one asynchronous operation."""
+
+    __slots__ = ("kind", "initiated", "local_data", "local_op",
+                 "global_done", "pending_op")
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.initiated = Future(f"{kind}.initiated")
+        self.local_data = Future(f"{kind}.local_data")
+        self.local_op = Future(f"{kind}.local_op")
+        self.global_done = Future(f"{kind}.global_done")
+        #: the record registered on the initiating activation when the
+        #: operation uses implicit completion; None for explicit ops
+        self.pending_op: Optional[PendingOp] = None
+
+    def make_pending(self, reads_local: bool, writes_local: bool,
+                     released: Optional[Future] = None) -> PendingOp:
+        """Build (and remember) the pending-op record for this operation."""
+        self.pending_op = PendingOp(
+            self.kind, reads_local, writes_local,
+            local_data=self.local_data, local_op=self.local_op,
+            released=released if released is not None else self.global_done,
+        )
+        return self.pending_op
+
+    def __repr__(self) -> str:
+        stage = ("global" if self.global_done.done else
+                 "local_op" if self.local_op.done else
+                 "local_data" if self.local_data.done else
+                 "initiated" if self.initiated.done else "new")
+        return f"<AsyncOp {self.kind} @{stage}>"
+
+
+def chain(src: Future, dst: Future) -> None:
+    """Resolve ``dst`` when ``src`` resolves (value forwarded)."""
+    def forward(f: Future) -> None:
+        exc = f.exception()
+        if exc is not None:
+            dst.set_exception(exc)
+        else:
+            dst.set_result(f.result())
+    src.add_done_callback(forward)

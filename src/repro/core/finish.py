@@ -1,0 +1,294 @@
+"""The ``finish`` construct (paper §III-A).
+
+``finish`` is a block-structured, *collective* construct over a team:
+every member enters a matching block, and ``end finish`` blocks until all
+implicitly-synchronized asynchronous operations initiated inside the
+block — by any member, including transitively spawned functions — are
+globally complete.
+
+Matching
+--------
+Finish blocks match across images by ``(team id, per-team finish sequence
+number)``; because CAF 2.0 is SPMD, each image's N-th finish block on a
+team pairs with its teammates' N-th.  A :class:`FinishFrame` holds one
+image's counters for one block; frames are created lazily, because a
+shipped function can land on an image *before* that image has entered its
+own copy of the block.
+
+Counting (Fig. 7)
+-----------------
+Each frame keeps two epochs (even/odd), each with four counters:
+
+- ``sent``       — counted messages this image initiated;
+- ``delivered``  — of those, how many have been acknowledged delivered;
+- ``received``   — counted messages that landed on this image;
+- ``completed``  — of those, how many have finished their local work.
+
+A message is tagged with whether its sender's frame was in the odd epoch;
+all four counter updates for that message go to the epoch named by the
+tag.  Receiving an odd-tagged message hoists the receiver into the odd
+epoch (Fig. 7, line 32) — that is what makes the allreduce cut consistent
+without FIFO channels or global clocks.
+
+One bookkeeping detail the pseudo-code leaves implicit: when the odd
+epoch is *folded* into the even one (allreduce exit), counts for odd-
+tagged messages still in flight must follow their ``sent``/``received``
+counterparts into the even epoch.  We track a per-frame fold generation;
+a delivery ack (or completion) whose message was stamped in an earlier
+generation lands in the even epoch, where its matching count now lives.
+Without this, a late ack strands ``even.sent > even.delivered`` forever
+and the line-4 wait deadlocks.
+
+What counts
+-----------
+Spawns, asynchronous copies, and asynchronous collectives initiated with
+*implicit* completion (no event arguments) while a frame is current.
+Operations carrying explicit events manage their own completion and are
+not tracked (§III: finish guarantees are for implicitly-synchronized
+operations).  The detector's own allreduce traffic is never counted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.tasks import Condition
+from repro.runtime.team import Team
+
+
+class FinishUsageError(RuntimeError):
+    """Structural misuse of finish (mismatched end, bad team nesting...)."""
+
+
+class Epoch:
+    """Four counters of Fig. 7's ``epoch`` structure."""
+
+    __slots__ = ("sent", "delivered", "received", "completed")
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.received = 0
+        self.completed = 0
+
+    def fold_from(self, other: "Epoch") -> None:
+        """Accumulate ``other`` into self and zero it (Fig. 7 lines 16-25)."""
+        self.sent += other.sent
+        self.delivered += other.delivered
+        self.received += other.received
+        self.completed += other.completed
+        other.sent = other.delivered = other.received = other.completed = 0
+
+    def locally_quiet(self) -> bool:
+        """Fig. 7 line 4: all my sends landed, all my receipts completed."""
+        return (self.sent == self.delivered
+                and self.completed == self.received)
+
+    def __repr__(self) -> str:
+        return (f"Epoch(sent={self.sent}, delivered={self.delivered}, "
+                f"received={self.received}, completed={self.completed})")
+
+
+class FinishFrame:
+    """One image's state for one finish block."""
+
+    def __init__(self, machine, world_rank: int, team: Team, seq: int):
+        self.machine = machine
+        self.world_rank = world_rank
+        self.team = team
+        self.seq = seq
+        self.key = (team.id, seq)
+        self.even = Epoch()
+        self.odd = Epoch()
+        self.present = self.even
+        #: fold generation (bumped by fold_to_even; see module docstring)
+        self.gen = 0
+        self.cond = Condition(machine.sim, f"finish{self.key}@{world_rank}")
+        #: diagnostic: allreduce waves this image participated in
+        self.rounds = 0
+        # Cumulative (epoch-independent) counters, used by the baseline
+        # detectors and for diagnostics; the paper's algorithm itself only
+        # reads the epoch counters.
+        self.c_sent = 0
+        self.c_delivered = 0
+        self.c_received = 0
+        self.c_completed = 0
+        #: per-destination send counts (X10-style vector detector)
+        self.sent_to: dict[int, int] = {}
+
+    # -- epoch machinery ------------------------------------------------- #
+
+    @property
+    def in_odd(self) -> bool:
+        return self.present is self.odd
+
+    def _epoch_for(self, tag_odd: bool, gen: int) -> Epoch:
+        """The epoch a follow-up count (delivered/completed) belongs to:
+        odd only while the fold generation its message was stamped in is
+        still current; after a fold, the matching counts live in even."""
+        if tag_odd and gen == self.gen:
+            return self.odd
+        return self.even
+
+    def advance_to_odd(self) -> None:
+        """Even → odd transition (entering an allreduce, Fig. 7 line 7,
+        or receiving an odd-tagged message, line 32)."""
+        self.present = self.odd
+
+    def fold_to_even(self) -> None:
+        """Odd → even transition on allreduce exit (Fig. 7 line 10 via
+        next_epoch): fold the odd epoch into the even one."""
+        self.even.fold_from(self.odd)
+        self.present = self.even
+        self.gen += 1
+        self.cond.wake()
+
+    # -- counter events ---------------------------------------------------- #
+
+    def on_send(self, dst: Optional[int] = None) -> tuple[bool, int]:
+        """Count an outgoing message; returns the (tag, generation) stamp.
+        The tag travels on the wire; the stamp stays with the sender's
+        ack callback."""
+        self.present.sent += 1
+        self.c_sent += 1
+        if dst is not None:
+            self.sent_to[dst] = self.sent_to.get(dst, 0) + 1
+        self.cond.wake()
+        return (self.in_odd, self.gen)
+
+    def on_delivered(self, stamp: tuple[bool, int]) -> None:
+        tag_odd, gen = stamp
+        self._epoch_for(tag_odd, gen).delivered += 1
+        self.c_delivered += 1
+        self.cond.wake()
+
+    def on_received(self, tag_odd: bool) -> tuple[bool, int]:
+        """Count an incoming message; returns the receiver-side stamp to
+        hand back to :meth:`on_completed` when its local work is done."""
+        if tag_odd:
+            self.advance_to_odd()
+            self.odd.received += 1
+        else:
+            self.even.received += 1
+        self.c_received += 1
+        self.cond.wake()
+        return (tag_odd, self.gen)
+
+    def on_completed(self, stamp: tuple[bool, int]) -> None:
+        tag_odd, gen = stamp
+        self._epoch_for(tag_odd, gen).completed += 1
+        self.c_completed += 1
+        self.cond.wake()
+
+    def __repr__(self) -> str:
+        return (f"<FinishFrame {self.key}@{self.world_rank} "
+                f"{'odd' if self.in_odd else 'even'} even={self.even} "
+                f"odd={self.odd}>")
+
+
+# --------------------------------------------------------------------- #
+# Message-side helpers (used by spawn / copy_async / async collectives)
+# --------------------------------------------------------------------- #
+
+def frame_at(machine, world_rank: int, key: tuple) -> FinishFrame:
+    """Get-or-create the frame for ``key`` on ``world_rank`` (frames are
+    created lazily on message arrival, see module docstring)."""
+    return machine.get_or_create_frame(world_rank, key)
+
+
+def count_send(machine, world_rank: int, key: Optional[tuple],
+               dst: Optional[int] = None) -> Optional[tuple]:
+    """Count a message send at its initiator.  Returns the sender stamp
+    ``(tag, generation)``: put ``stamp[0]`` on the wire, keep the stamp
+    for :func:`count_delivered`.  None when not inside a finish."""
+    if key is None:
+        return None
+    return frame_at(machine, world_rank, key).on_send(dst)
+
+
+def wire_tag(stamp: Optional[tuple]) -> Optional[bool]:
+    """The piggybacked epoch tag of a sender stamp."""
+    return None if stamp is None else stamp[0]
+
+
+def count_delivered(machine, world_rank: int, key: Optional[tuple],
+                    stamp: Optional[tuple]) -> None:
+    if key is not None and stamp is not None:
+        frame_at(machine, world_rank, key).on_delivered(stamp)
+
+
+def count_received(machine, world_rank: int, key: Optional[tuple],
+                   tag: Optional[bool]) -> Optional[tuple]:
+    """Count a message arrival; returns the receiver stamp to pass to
+    :func:`count_completed` when its local work finishes."""
+    if key is None:
+        return None
+    return frame_at(machine, world_rank, key).on_received(bool(tag))
+
+
+def count_completed(machine, world_rank: int, key: Optional[tuple],
+                    recv_stamp: Optional[tuple]) -> None:
+    if key is not None and recv_stamp is not None:
+        frame_at(machine, world_rank, key).on_completed(recv_stamp)
+
+
+# --------------------------------------------------------------------- #
+# The block construct
+# --------------------------------------------------------------------- #
+
+def finish_begin(ctx, team: Optional[Team] = None
+                 ) -> Generator[Any, Any, FinishFrame]:
+    """Enter a finish block on ``team`` (default: the world team).
+
+    Purely local: the collective synchronization happens at
+    :func:`finish_end`.  Returns the frame (useful for diagnostics).
+    """
+    team = team if team is not None else ctx.team_world
+    if ctx.rank not in team:
+        raise FinishUsageError(
+            f"image {ctx.rank} entered a finish on team {team.id} it does "
+            "not belong to"
+        )
+    if ctx.activation.in_shipped_function:
+        raise FinishUsageError(
+            "finish blocks are collective and cannot be opened inside a "
+            "shipped function (spawn from within an image-level finish "
+            "instead)"
+        )
+    state = ctx.machine.image_state(ctx.rank)
+    parent = state.finish_stack[-1] if state.finish_stack else None
+    if parent is not None and not team.is_subset_of(parent.team):
+        raise FinishUsageError(
+            f"nested finish team {team.id} is not a subset of the "
+            f"enclosing finish team {parent.team.id}"
+        )
+    seq = state.next_finish_seq(team.id)
+    frame = frame_at(ctx.machine, ctx.rank, (team.id, seq))
+    state.finish_stack.append(frame)
+    ctx.machine.stats.incr("finish.blocks")
+    return frame
+    yield  # pragma: no cover - makes this a generator for API uniformity
+
+
+def finish_end(ctx, detector: str = "epoch") -> Generator[Any, Any, int]:
+    """Leave the current finish block: run global termination detection
+    and block until it succeeds.  Returns the number of allreduce waves
+    used (the Fig. 18 metric).
+
+    ``detector`` selects the algorithm: ``"epoch"`` (the paper's,
+    default), ``"wave_unbounded"`` (no line-4 wait — the Fig. 18
+    baseline), ``"four_counter"`` (Mattern/AM++), or ``"barrier"``
+    (the *incorrect* naive scheme of Fig. 5, kept for demonstration).
+    """
+    from repro.core import termination
+
+    state = ctx.machine.image_state(ctx.rank)
+    if not state.finish_stack:
+        raise FinishUsageError(f"image {ctx.rank}: end finish without finish")
+    frame = state.finish_stack[-1]
+    algorithm = termination.get_detector(detector)
+    rounds = yield from algorithm(ctx, frame)
+    state.finish_stack.pop()
+    ctx.machine.stats.incr("finish.completed")
+    ctx.machine.stats.incr("finish.rounds_total", rounds)
+    return rounds

@@ -1,0 +1,157 @@
+"""Function shipping (paper §II-C.2).
+
+``spawn(fn, target, *args)`` moves a computation to another image.
+Argument semantics follow the paper:
+
+- scalars, arrays and other plain values are *copied* to the target
+  (their bytes are charged to the wire);
+- coarray references (:class:`~repro.runtime.coarray.CoarrayRef`,
+  :class:`~repro.runtime.coarray.ImageSection`) are passed *by
+  reference* — the shipped function manipulates the section where it
+  lives;
+- event variables and teams travel as descriptors (by reference).
+
+A spawn travels as a *medium* active message, so its value-argument
+payload is capped at ``MachineParams.am_medium_max`` bytes — the limit
+that caps a UTS steal at 9 work descriptors (§IV-C).
+
+Completion: the spawn's return guarantees initiation only.  ``local_data``
+resolves when the argument buffer has been injected; ``local_op`` when the
+target acknowledged delivery ("spawn is complete on the target image",
+Fig. 4); execution completion is signalled through the optional event
+(explicit completion) or the enclosing ``finish`` (implicit completion).
+Shipped functions execute inside the spawner's finish frame, so anything
+they spawn is tracked transitively.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.runtime.coarray import CoarrayRef, ImageSection, Coarray
+from repro.runtime.event import EventRef, EventVar
+from repro.runtime.memory_model import Activation
+from repro.runtime.sizeof import sizeof
+from repro.runtime.team import Team
+from repro.net.active_messages import AMCategory
+from repro.core.completion import AsyncOp, chain
+from repro.core import finish as fin
+
+_EXEC = "spawn.exec"
+
+#: fixed descriptor bytes per spawn (function id, frame key, tag, header)
+SPAWN_HEADER_BYTES = 32
+#: descriptor bytes for one by-reference argument
+REF_BYTES = 16
+
+
+_BY_REFERENCE = (CoarrayRef, ImageSection, Coarray, EventVar, EventRef, Team)
+
+
+def _arg_wire_size(arg: Any) -> int:
+    if isinstance(arg, _BY_REFERENCE):
+        return REF_BYTES
+    return sizeof(arg)
+
+
+def payload_size(args: tuple) -> int:
+    """Simulated wire size of a spawn's argument list."""
+    return SPAWN_HEADER_BYTES + sum(_arg_wire_size(a) for a in args)
+
+
+def _marshal(arg: Any) -> Any:
+    """Value arguments are *copied* to the target (paper §II-C.2); only
+    coarray sections, events and teams travel by reference.  Copying at
+    initiation models the runtime packing the argument buffer."""
+    if isinstance(arg, _BY_REFERENCE):
+        return arg
+    if isinstance(arg, np.ndarray):
+        return np.copy(arg)
+    if isinstance(arg, (list, dict, set, bytearray)):
+        return copy.deepcopy(arg)
+    return arg  # immutables need no copy
+
+
+def _ensure_handlers(machine) -> None:
+    machine.am.ensure_registered(_EXEC, _make_exec_handler(machine))
+
+
+def _make_exec_handler(machine):
+    def handle_exec(ctx, fn, args, key, tag, event_ref, name):
+        # Count reception before the function body runs: the message has
+        # landed even if the task runs long (Fig. 7 separates received
+        # from completed for exactly this reason).
+        recv_stamp = fin.count_received(machine, ctx.image, key, tag)
+        frame = fin.frame_at(machine, ctx.image, key) if key is not None else None
+        activation = Activation(
+            machine.image_state(ctx.image), finish_frame=frame, name=name)
+        image = machine.make_image(ctx.image, activation)
+        machine.stats.incr("spawn.executed")
+        try:
+            yield from fn(image, *args)
+        finally:
+            fin.count_completed(machine, ctx.image, key, recv_stamp)
+            if event_ref is not None:
+                machine.post_event(event_ref, from_rank=ctx.image)
+    return handle_exec
+
+
+def spawn(ctx, fn, target: int, *args: Any,
+          team: Optional[Team] = None,
+          event: Optional[EventVar | EventRef] = None
+          ) -> Generator[Any, Any, AsyncOp]:
+    """Ship ``fn(image, *args)`` to team rank ``target`` for execution.
+
+    ``fn`` must be a generator function taking the target-side image
+    handle as its first parameter.  Use with ``yield from`` (the call may
+    block on flow-control credits).  Returns the operation handle.
+    """
+    if not inspect.isgeneratorfunction(fn):
+        raise TypeError(
+            f"spawned function {fn!r} must be a generator function "
+            "(def f(image, ...): ... yield ...)"
+        )
+    machine = ctx.machine
+    _ensure_handlers(machine)
+    team = team if team is not None else ctx.team_world
+    dst = team.world_rank(target)
+
+    event_ref = None
+    if event is not None:
+        event_ref = event if isinstance(event, EventRef) else event.ref_for(ctx.rank)
+
+    implicit = event is None
+    frame = ctx.activation.current_frame() if implicit else None
+    key = frame.key if frame is not None else None
+    stamp = fin.count_send(machine, ctx.rank, key, dst=dst)
+
+    op = AsyncOp("spawn")
+    name = f"{getattr(fn, '__name__', 'fn')}@{dst}"
+    size = payload_size(args)
+    shipped_args = tuple(_marshal(a) for a in args)
+    machine.stats.incr("spawn.initiated")
+    receipt = yield from machine.am.request(
+        ctx.rank, dst, _EXEC,
+        args=(fn, shipped_args, key, fin.wire_tag(stamp), event_ref, name),
+        payload_size=size, category=AMCategory.MEDIUM,
+        want_ack=True, kind="spawn",
+    )
+    op.initiated.set_result(None)
+    chain(receipt.injected, op.local_data)
+    chain(receipt.delivered, op.local_op)
+    receipt.delivered.add_done_callback(
+        lambda _f: fin.count_delivered(machine, ctx.rank, key, stamp))
+    # The initiator cannot observe execution completion without an event;
+    # global completion is finish's business.  local_op is the strongest
+    # initiator-side guarantee the handle itself carries.
+    chain(receipt.delivered, op.global_done)
+
+    if implicit:
+        ctx.activation.register(
+            op.make_pending(reads_local=True, writes_local=False,
+                            released=op.local_op))
+    return op

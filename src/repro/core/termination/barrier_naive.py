@@ -1,0 +1,31 @@
+"""The *incorrect* wait-then-barrier scheme (paper Fig. 5).
+
+Each image waits for delivery of the asynchronous operations *it*
+initiated, then joins a team barrier.  The scheme misses transitively
+shipped functions: if p ships f1 to q and f1 — executing on q, invisible
+to q's main program — ships f2 to r, then r can enter and leave the
+barrier before f2 even lands (Fig. 5).  ``finish`` exists because of
+exactly this failure.
+
+Kept in the library so tests and the Fig. 5 demo can exhibit the bug;
+never use it for real synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core import collectives
+from repro.core.finish import FinishFrame
+
+
+def barrier_naive_detector(ctx, frame: FinishFrame
+                           ) -> Generator[Any, Any, int]:
+    """Wait for my own sends to be delivered, then barrier.  UNSOUND:
+    returns while transitively spawned work may still be outstanding."""
+    yield from frame.cond.wait_until(
+        lambda: frame.c_sent == frame.c_delivered
+    )
+    yield from collectives.barrier(ctx, team=frame.team)
+    ctx.machine.stats.incr("finish.naive_barriers")
+    return 1

@@ -1,0 +1,62 @@
+"""The paper's epoch-based termination detection algorithm (Fig. 7).
+
+Each image repeatedly:
+
+1. waits until it is *locally quiet* in the even epoch — every message it
+   sent has been acknowledged delivered, and every message it received
+   has completed its local work (Fig. 7 line 4, the precondition that
+   halves the number of waves, see Fig. 18);
+2. advances into the odd epoch if not already hoisted there by an
+   odd-tagged message (line 7);
+3. joins a synchronous team allreduce of ``sent - completed`` over the
+   even epoch (line 8);
+4. folds the odd epoch into the even one on exit (line 10 via
+   ``next_epoch``).
+
+Global termination is detected when the reduction yields zero.  Theorem 1
+bounds the number of waves by ``L + 1`` where ``L`` is the longest chain
+of transitively shipped functions; a test asserts that bound on
+adversarial chains.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core import collectives
+from repro.core.finish import FinishFrame
+
+
+def epoch_detector(ctx, frame: FinishFrame) -> Generator[Any, Any, int]:
+    """Run the Fig. 7 algorithm for one image; returns allreduce waves."""
+    machine = ctx.machine
+    rounds = 0
+    while True:
+        # Line 4: wait until locally quiet in the even epoch.  Counter
+        # updates wake the condition.
+        yield from frame.cond.wait_until(frame.even.locally_quiet)
+        # Line 6-7: enter the odd epoch (unless an odd-tagged message
+        # already hoisted us there).
+        if not frame.in_odd:
+            frame.advance_to_odd()
+        # Line 8: the consistent-cut sum over the even epoch.  The
+        # reduction-tree radix is overridable for the ablation bench.
+        outstanding = frame.even.sent - frame.even.completed
+        wave_start = machine.sim.now
+        total = yield from collectives.allreduce(
+            ctx, outstanding, op="sum", team=frame.team,
+            radix=machine.scratch.get("finish.allreduce_radix", 2),
+            _stat="finish.allreduce",
+        )
+        rounds += 1
+        frame.rounds += 1
+        if machine.tracer is not None:
+            machine.tracer.span(ctx.rank, "finish wave", wave_start,
+                                machine.sim.now - wave_start,
+                                args={"outstanding": outstanding,
+                                      "total": total})
+        # Line 10: exit the allreduce — fold odd into even.
+        frame.fold_to_even()
+        if total == 0:
+            return rounds
+        machine.stats.incr("finish.extra_waves")

@@ -1,0 +1,47 @@
+"""An intermediate Fig. 18 baseline: waves with *half* the wait.
+
+Fig. 7 line 4 has two clauses: wait until (a) my sent messages are
+acknowledged delivered AND (b) my received messages have completed.
+The :mod:`wave_unbounded` baseline drops both; this detector keeps only
+(b) — any realistic poll-loop implementation drains its inbox between
+reductions anyway, but learning about *deliveries* requires the ack
+machinery that is precisely the paper's addition.
+
+Together the three detectors bracket the design space the paper's
+measurement sits in:
+
+- ``epoch`` (both clauses)  — fewest waves;
+- ``wave_drain`` (clause b) — slightly more;
+- ``wave_unbounded`` (none) — free-spinning, many more.
+
+The paper's ~2x baseline lands between the latter two (EXPERIMENTS.md
+discusses the placement).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core import collectives
+from repro.core.finish import FinishFrame
+
+
+def wave_drain_detector(ctx, frame: FinishFrame
+                        ) -> Generator[Any, Any, int]:
+    """Allreduce waves gated only on local completion of received
+    messages (no delivery-ack precondition)."""
+    while True:
+        yield from frame.cond.wait_until(
+            lambda: frame.even.received == frame.even.completed)
+        if not frame.in_odd:
+            frame.advance_to_odd()
+        outstanding = frame.even.sent - frame.even.completed
+        total = yield from collectives.allreduce(
+            ctx, outstanding, op="sum", team=frame.team,
+            _stat="finish.allreduce_drain",
+        )
+        frame.rounds += 1
+        frame.fold_to_even()
+        if total == 0:
+            return frame.rounds
+        ctx.machine.stats.incr("finish.extra_waves_drain")

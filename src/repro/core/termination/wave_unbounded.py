@@ -1,0 +1,45 @@
+"""The Fig. 18 baseline: allreduce waves *without* the wait precondition.
+
+This detector runs the same even/odd epoch machinery as the paper's
+algorithm but skips Fig. 7 line 4 — it does not wait for its sent
+messages to be delivered or its received functions to complete before
+joining the next reduction wave.  Messages still in flight therefore keep
+the global sum nonzero for extra waves; the paper measures roughly 2x the
+number of reductions on UTS (Fig. 18).
+
+Because back-to-back reductions with no pacing could spin arbitrarily
+fast relative to message progress, real implementations insert a poll
+delay between waves; ``POLL_INTERVAL`` models that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.tasks import Delay
+from repro.core import collectives
+from repro.core.finish import FinishFrame
+
+#: pause between waves (one wire latency's worth of polling)
+POLL_INTERVAL = 2.0e-6
+
+
+def wave_unbounded_detector(ctx, frame: FinishFrame
+                            ) -> Generator[Any, Any, int]:
+    """Allreduce waves with no local-quiet precondition."""
+    rounds = 0
+    while True:
+        if not frame.in_odd:
+            frame.advance_to_odd()
+        outstanding = frame.even.sent - frame.even.completed
+        total = yield from collectives.allreduce(
+            ctx, outstanding, op="sum", team=frame.team,
+            _stat="finish.allreduce_unbounded",
+        )
+        rounds += 1
+        frame.rounds += 1
+        frame.fold_to_even()
+        if total == 0:
+            return rounds
+        ctx.machine.stats.incr("finish.extra_waves_unbounded")
+        yield Delay(POLL_INTERVAL)

@@ -1,0 +1,36 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+recorded paper-vs-measured results.
+"""
+
+from repro.harness.reporting import Table, format_seconds
+from repro.harness.experiments import (
+    fig05_barrier_failure,
+    fig12_cofence_micro,
+    fig13_randomaccess_scaling,
+    fig14_bunch_size,
+    fig16_uts_load_balance,
+    fig17_uts_efficiency,
+    fig18_allreduce_rounds,
+    theorem1_waves,
+    ablation_detectors,
+    ablation_tree_radix,
+    ablation_steal_chunk,
+)
+
+__all__ = [
+    "Table",
+    "format_seconds",
+    "fig05_barrier_failure",
+    "fig12_cofence_micro",
+    "fig13_randomaccess_scaling",
+    "fig14_bunch_size",
+    "fig16_uts_load_balance",
+    "fig17_uts_efficiency",
+    "fig18_allreduce_rounds",
+    "theorem1_waves",
+    "ablation_detectors",
+    "ablation_tree_radix",
+    "ablation_steal_chunk",
+]

@@ -1,0 +1,109 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+    python -m repro.harness [--quick] [--out FILE] [EXPERIMENT ...]
+
+Runs every figure runner (or the named subset) and prints the tables;
+``--out`` additionally writes them to a report file.  ``--quick`` uses
+tiny problem sizes for a fast smoke pass (the full settings match
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import sys
+
+from repro.apps.uts import TreeParams
+from repro.harness import (
+    ablation_detectors,
+    ablation_steal_chunk,
+    ablation_tree_radix,
+    fig05_barrier_failure,
+    fig12_cofence_micro,
+    fig13_randomaccess_scaling,
+    fig14_bunch_size,
+    fig16_uts_load_balance,
+    fig17_uts_efficiency,
+    fig18_allreduce_rounds,
+    theorem1_waves,
+)
+
+_QUICK_TREE = TreeParams(b0=4, max_depth=6, seed=19)
+
+EXPERIMENTS = {
+    "fig05": (lambda quick: fig05_barrier_failure()),
+    "fig12": (lambda quick: fig12_cofence_micro(
+        cores=(4, 8) if quick else (8, 16, 32, 64),
+        iterations=10 if quick else 50)),
+    "fig13": (lambda quick: fig13_randomaccess_scaling(
+        cores=(2, 4) if quick else (2, 4, 8, 16, 32),
+        updates_per_image=32 if quick else 128)),
+    "fig14": (lambda quick: fig14_bunch_size(
+        cores=(4,) if quick else (8, 32),
+        bunch_sizes=(4, 16, 64) if quick else (4, 8, 16, 32, 64, 128, 256),
+        updates_per_image=64 if quick else 256)),
+    "fig16": (lambda quick: fig16_uts_load_balance(
+        cores=(4, 8) if quick else (8, 16, 32),
+        tree=_QUICK_TREE if quick else None)),
+    "fig17": (lambda quick: fig17_uts_efficiency(
+        cores=(2, 4) if quick else (2, 4, 8, 16, 32, 64),
+        tree=_QUICK_TREE if quick else None)),
+    "fig18": (lambda quick: fig18_allreduce_rounds(
+        cores=(4, 8) if quick else (8, 16, 32, 64),
+        tree=_QUICK_TREE if quick else None)),
+    "theorem1": (lambda quick: theorem1_waves(
+        chain_lengths=(1, 2) if quick else (1, 2, 4, 8),
+        n_images=4 if quick else 8)),
+    "detectors": (lambda quick: ablation_detectors(
+        n_images=4 if quick else 8,
+        tree=_QUICK_TREE if quick else None)),
+    "radix": (lambda quick: ablation_tree_radix(
+        radixes=(2, 4) if quick else (2, 4, 8),
+        n_images=8 if quick else 32,
+        repeats=3 if quick else 20)),
+    "steal_chunk": (lambda quick: ablation_steal_chunk(
+        medium_sizes=(80, 256) if quick else (80, 256, 800),
+        n_images=4 if quick else 16,
+        tree=_QUICK_TREE if quick else None)),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness", description=__doc__)
+    parser.add_argument("experiments", nargs="*",
+                        choices=[[], *EXPERIMENTS],
+                        help="subset to run (default: all)")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny problem sizes for a fast pass")
+    parser.add_argument("--out", default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    names = args.experiments or list(EXPERIMENTS)
+    buffer = io.StringIO()
+    original_stdout = sys.stdout
+
+    class Tee:
+        def write(self, text):
+            original_stdout.write(text)
+            buffer.write(text)
+
+        def flush(self):
+            original_stdout.flush()
+
+    with contextlib.redirect_stdout(Tee()):
+        for name in names:
+            EXPERIMENTS[name](args.quick)
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(buffer.getvalue())
+        print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+"""Plain-text reporting for experiment results.
+
+Every figure runner prints the same rows/series the paper's plot shows,
+via :class:`Table`.  Keeping this purely textual keeps the harness free
+of plotting dependencies; the numbers land in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_seconds(t: float) -> str:
+    """Human-scale formatting for simulated durations."""
+    if t == 0:
+        return "0"
+    if t >= 1.0:
+        return f"{t:.3f} s"
+    if t >= 1e-3:
+        return f"{t * 1e3:.3f} ms"
+    return f"{t * 1e6:.2f} us"
+
+
+class Table:
+    """A fixed-column text table.
+
+    >>> t = Table("demo", ["p", "time"])
+    >>> t.add_row([4, "1.0 ms"])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    demo
+    ...
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        cells = [str(c) for c in row]
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())
+        print()

@@ -1,0 +1,39 @@
+"""A CAF 2.0 surface-syntax frontend.
+
+The paper's constructs are *language* constructs — ``finish``/``end
+finish`` blocks, ``cofence(DOWNWARD=WRITE)``, ``spawn foo(A[p])[p]``,
+predicated ``copy_async`` — embedded in a Fortran dialect.  This package
+implements a small interpreter for that surface syntax so the paper's
+program listings can be executed (almost) verbatim against the runtime:
+
+- :mod:`repro.lang.lexer` — tokens for a line-oriented Fortran-ish
+  dialect (case-insensitive keywords, ``!`` comments);
+- :mod:`repro.lang.ast_nodes` — the abstract syntax tree;
+- :mod:`repro.lang.parser` — recursive-descent parser;
+- :mod:`repro.lang.interpreter` — a tree-walking evaluator in which
+  every statement executes inside the simulated image's task, so
+  remote reads/writes, spawns and synchronization cost what they
+  should.
+
+Entry point::
+
+    from repro.lang import run_program
+    machine, results = run_program(source, n_images=8)
+
+See ``examples/caf/`` for runnable programs, including the paper's
+Fig. 3 work-stealing function and Fig. 11 micro-benchmark.
+"""
+
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.parser import ParseError, parse
+from repro.lang.interpreter import CafError, run_program, Interpreter
+
+__all__ = [
+    "tokenize",
+    "LexError",
+    "parse",
+    "ParseError",
+    "run_program",
+    "Interpreter",
+    "CafError",
+]

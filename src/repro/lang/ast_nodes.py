@@ -1,0 +1,190 @@
+"""Abstract syntax tree for the CAF 2.0 surface dialect.
+
+All nodes are frozen dataclasses; the interpreter dispatches on type.
+``Index`` captures Fortran-style selections ``a(i)``, ``a(lo:hi)`` and
+the co-dimension ``a(i)[p]`` that addresses another image's section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+# --------------------------------------------------------------------- #
+# Expressions
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class Num:
+    value: Union[int, float]
+
+
+@dataclass(frozen=True)
+class Str:
+    value: str
+
+
+@dataclass(frozen=True)
+class Bool:
+    value: bool
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class Slice:
+    """``lo:hi`` inside an index (1-based, inclusive, Fortran-style);
+    either bound may be omitted."""
+    lo: Optional["Expr"]
+    hi: Optional["Expr"]
+
+
+@dataclass(frozen=True)
+class Index:
+    """``base(sel)[image]`` — sel and image both optional."""
+    base: "Expr"
+    selector: Optional[Union["Expr", Slice]]
+    image: Optional["Expr"]
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Call:
+    name: str
+    args: tuple = ()
+
+
+Expr = Union[Num, Str, Bool, Var, Index, BinOp, UnaryOp, Call]
+
+
+# --------------------------------------------------------------------- #
+# Statements
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class Decl:
+    """``integer :: a, b(8), c(4)[*]`` — one entry per declared name."""
+    type_name: str           # integer | real | logical | event
+    name: str
+    shape: Optional[Expr]    # array extent or None for scalars
+    codimension: bool        # declared with [*] (coarray / team event)
+
+
+@dataclass(frozen=True)
+class Assign:
+    target: Expr             # Var or Index (possibly remote)
+    value: Expr
+
+
+@dataclass(frozen=True)
+class CallStmt:
+    call: Call
+
+
+@dataclass(frozen=True)
+class If:
+    condition: Expr
+    then_body: tuple
+    else_body: tuple
+
+
+@dataclass(frozen=True)
+class Do:
+    var: str
+    start: Expr
+    stop: Expr
+    step: Optional[Expr]
+    body: tuple
+
+
+@dataclass(frozen=True)
+class DoWhile:
+    condition: Expr
+    body: tuple
+
+
+@dataclass(frozen=True)
+class Exit:
+    """``exit`` — leave the innermost loop."""
+
+
+@dataclass(frozen=True)
+class Cycle:
+    """``cycle`` — next iteration of the innermost loop."""
+
+
+@dataclass(frozen=True)
+class Finish:
+    body: tuple
+    team: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Cofence:
+    downward: Optional[str]
+    upward: Optional[str]
+
+
+@dataclass(frozen=True)
+class CopyAsync:
+    dest: Expr
+    src: Expr
+    events: tuple            # up to (pre, src_event, dest_event)
+
+
+@dataclass(frozen=True)
+class Spawn:
+    """``spawn name(args) [image]`` with optional completion event:
+    ``spawn(e) name(args) [image]``."""
+    function: str
+    args: tuple
+    image: Expr
+    event: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class Print:
+    values: tuple
+
+
+@dataclass(frozen=True)
+class Return:
+    value: Optional[Expr]
+
+
+Stmt = Union[Decl, Assign, CallStmt, If, Do, DoWhile, Exit, Cycle,
+             Finish, Cofence, CopyAsync, Spawn, Print, Return]
+
+
+# --------------------------------------------------------------------- #
+# Program structure
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class FunctionDef:
+    name: str
+    params: tuple
+    body: tuple
+
+
+@dataclass(frozen=True)
+class Program:
+    name: str
+    body: tuple
+    functions: dict = field(default_factory=dict)

@@ -1,0 +1,260 @@
+"""Builtin functions and subroutines of the surface dialect.
+
+Every builtin is a generator taking the executing image first (all may
+block); expression builtins return a value.  The set mirrors the CAF 2.0
+primitives the paper describes plus the small Fortran intrinsic kit its
+listings use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.runtime.event import EventRef, EventVar
+
+#: builtins whose first argument is an event expression (resolved to an
+#: EventVar/EventRef rather than evaluated as data)
+EVENT_ARG_BUILTINS = {"event_wait", "event_notify"}
+
+
+def _gen(fn):
+    """Wrap a plain function as a no-yield generator builtin."""
+    def wrapper(img, *args) -> Generator[Any, Any, Any]:
+        return fn(img, *args)
+        yield  # pragma: no cover
+    wrapper.__name__ = fn.__name__
+    return wrapper
+
+
+# --------------------------------------------------------------------- #
+# Image / machine introspection
+# --------------------------------------------------------------------- #
+
+@_gen
+def this_image(img):
+    """My 0-based rank (CAF 2.0 team-relative indexing)."""
+    return img.rank
+
+
+@_gen
+def num_images(img):
+    return img.nimages
+
+
+@_gen
+def random_image(img):
+    """A uniformly random image other than this one (steal-victim
+    selection; deterministic per machine seed)."""
+    if img.nimages == 1:
+        return 0
+    victim = int(img.rng.integers(0, img.nimages - 1))
+    return victim if victim < img.rank else victim + 1
+
+
+@_gen
+def random_int(img, lo, hi):
+    """Uniform integer in [lo, hi] (inclusive, Fortran-style)."""
+    return int(img.rng.integers(int(lo), int(hi) + 1))
+
+
+# --------------------------------------------------------------------- #
+# Fortran intrinsics
+# --------------------------------------------------------------------- #
+
+@_gen
+def mod(img, a, b):
+    return a % b
+
+
+@_gen
+def abs_(img, a):
+    return abs(a)
+
+
+@_gen
+def min_(img, *args):
+    return min(args)
+
+
+@_gen
+def max_(img, *args):
+    return max(args)
+
+
+@_gen
+def size(img, arr):
+    return int(np.size(arr))
+
+
+@_gen
+def sum_(img, arr):
+    return np.asarray(arr).sum()
+
+
+@_gen
+def int_(img, x):
+    return int(x)
+
+
+@_gen
+def real(img, x):
+    return float(x)
+
+
+# --------------------------------------------------------------------- #
+# Synchronization and collectives
+# --------------------------------------------------------------------- #
+
+def event_wait(img, event, count=1) -> Generator[Any, Any, None]:
+    """Block until my counter of ``event`` has ``count`` posts; consume
+    them (acquire semantics)."""
+    yield from img.event_wait(event, count=int(count))
+
+
+def event_notify(img, event, count=1) -> Generator[Any, Any, None]:
+    """Post ``event`` (release semantics; remote with ``e[p]``)."""
+    yield from img.event_notify(event, count=int(count))
+
+
+def team_barrier(img) -> Generator[Any, Any, None]:
+    """Blocking team barrier (CAF 2.0's replacement for SYNC ALL)."""
+    yield from img.barrier()
+
+
+def lock(img, lockvar, team_rank=None) -> Generator[Any, Any, None]:
+    """Acquire ``lockvar`` on the given image (default: here)."""
+    rank = img.rank if team_rank is None else int(team_rank)
+    yield from lockvar.acquire(img, rank)
+
+
+def unlock(img, lockvar, team_rank=None) -> Generator[Any, Any, None]:
+    """Release ``lockvar`` on the given image (one-way message)."""
+    rank = img.rank if team_rank is None else int(team_rank)
+    lockvar.release(img, rank)
+    return
+    yield  # pragma: no cover
+
+
+def compute(img, seconds) -> Generator[Any, Any, None]:
+    """Model local computation of the given duration."""
+    yield from img.compute(float(seconds))
+
+
+def allreduce(img, value, op="sum") -> Generator[Any, Any, Any]:
+    yield from _noop()
+    return (yield from img.allreduce(_pyvalue(value), op=op))
+
+
+def team_reduce(img, value, root=0, op="sum") -> Generator[Any, Any, Any]:
+    return (yield from img.reduce(_pyvalue(value), op=op, root=int(root)))
+
+
+def team_broadcast(img, value, root=0) -> Generator[Any, Any, Any]:
+    return (yield from img.broadcast(_pyvalue(value), root=int(root)))
+
+
+def team_gather(img, value, root=0) -> Generator[Any, Any, Any]:
+    return (yield from img.gather(_pyvalue(value), root=int(root)))
+
+
+def team_allgather(img, value) -> Generator[Any, Any, Any]:
+    return (yield from img.allgather(_pyvalue(value)))
+
+
+def team_scan(img, value, op="sum") -> Generator[Any, Any, Any]:
+    return (yield from img.scan(_pyvalue(value), op=op))
+
+
+def world(img) -> Generator[Any, Any, Any]:
+    """The world team (every image)."""
+    return img.team_world
+    yield  # pragma: no cover
+
+
+def team_split(img, parent, color, key) -> Generator[Any, Any, Any]:
+    """Collectively split ``parent`` by color, ordered by key (§II-A);
+    returns my new team."""
+    return (yield from img.team_split(parent, int(color), int(key)))
+
+
+def team_size(img, team) -> Generator[Any, Any, int]:
+    return team.size
+    yield  # pragma: no cover
+
+
+def team_rank(img, team) -> Generator[Any, Any, int]:
+    """My rank within ``team``."""
+    return team.rank_of(img.rank)
+    yield  # pragma: no cover
+
+
+def barrier_on(img, team) -> Generator[Any, Any, None]:
+    yield from img.barrier(team=team)
+
+
+def allreduce_on(img, team, value, op="sum") -> Generator[Any, Any, Any]:
+    return (yield from img.allreduce(_pyvalue(value), op=op, team=team))
+
+
+def broadcast_on(img, team, value, root=0) -> Generator[Any, Any, Any]:
+    return (yield from img.broadcast(_pyvalue(value), root=int(root),
+                                     team=team))
+
+
+def _noop():
+    return
+    yield  # pragma: no cover
+
+
+def _pyvalue(value):
+    """numpy scalars confuse user-supplied reduce ops; normalize."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+
+_BUILTINS = {
+    "this_image": this_image,
+    "num_images": num_images,
+    "random_image": random_image,
+    "random_int": random_int,
+    "mod": mod,
+    "abs": abs_,
+    "min": min_,
+    "max": max_,
+    "size": size,
+    "sum": sum_,
+    "int": int_,
+    "real": real,
+    "event_wait": event_wait,
+    "event_notify": event_notify,
+    "team_barrier": team_barrier,
+    "barrier": team_barrier,
+    "lock": lock,
+    "unlock": unlock,
+    "compute": compute,
+    "allreduce": allreduce,
+    "team_reduce": team_reduce,
+    "team_broadcast": team_broadcast,
+    "team_gather": team_gather,
+    "team_allgather": team_allgather,
+    "team_scan": team_scan,
+    "world": world,
+    "team_split": team_split,
+    "team_size": team_size,
+    "team_rank": team_rank,
+    "barrier_on": barrier_on,
+    "allreduce_on": allreduce_on,
+    "broadcast_on": broadcast_on,
+}
+
+
+def lookup(name: str):
+    """The builtin generator for ``name``, or None."""
+    return _BUILTINS.get(name.lower())

@@ -1,0 +1,663 @@
+"""Tree-walking interpreter: CAF 2.0 surface programs on the runtime.
+
+Every image executes the program body as its SPMD main activation;
+statements run inside the simulated task, so remote accesses, spawns and
+synchronization constructs cost (and mean) exactly what the runtime
+makes them cost.
+
+Semantics notes
+---------------
+- Arrays are 1-based with inclusive slices, Fortran-style; image ranks
+  are 0-based, matching CAF 2.0 team ranks (``this_image()`` of the
+  first image is 0).
+- ``name(1)[p]`` reads/writes image p's section with blocking one-sided
+  get/put; ``copy_async`` is the asynchronous path.
+- ``copy_async(dest, src, ...)`` takes up to three optional events:
+  one event means the *destination* (delivery) event; two mean
+  ``(src_event, dest_event)``; three mean ``(pre, src, dest)`` as in
+  the paper's full signature.
+- Spawn arguments follow §II-C.2: ``a[p]`` (a coarray section) travels
+  by reference, plain values are copied.
+- Functions/subroutines see the program's coarrays and events but not
+  the caller's locals (no closures), and may be shipped with ``spawn``
+  or invoked locally with ``call``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.runtime.coarray import Coarray, CoarrayRef
+from repro.runtime.event import EventRef, EventVar
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse
+
+
+class CafError(RuntimeError):
+    """Semantic error while executing a surface program."""
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Any):
+        self.value = value
+
+
+class _ExitSignal(Exception):
+    pass
+
+
+class _CycleSignal(Exception):
+    pass
+
+
+_DTYPES = {"integer": np.int64, "real": np.float64, "logical": np.bool_}
+
+
+class Scope:
+    """A name-binding chain: locals over program globals."""
+
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.names: dict[str, Any] = {}
+        self.parent = parent
+
+    def lookup(self, name: str) -> Any:
+        scope = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        raise CafError(f"name {name!r} is not declared")
+
+    def has(self, name: str) -> bool:
+        scope = self
+        while scope is not None:
+            if name in scope.names:
+                return True
+            scope = scope.parent
+        return False
+
+    def set(self, name: str, value: Any) -> None:
+        scope = self
+        while scope is not None:
+            if name in scope.names:
+                scope.names[name] = value
+                return
+            scope = scope.parent
+        self.names[name] = value
+
+    def declare(self, name: str, value: Any) -> None:
+        self.names[name] = value
+
+
+class Interpreter:
+    """Executes one parsed :class:`~repro.lang.ast_nodes.Program`."""
+
+    def __init__(self, program: A.Program):
+        self.program = program
+
+    # ------------------------------------------------------------------ #
+    # Launch
+    # ------------------------------------------------------------------ #
+
+    def run(self, n_images: int, params=None, seed: int = 0,
+            capture_prints: bool = False):
+        """Run the program SPMD; returns ``(machine, per-image results,
+        printed lines)``."""
+        from repro.runtime.program import Machine
+
+        machine = Machine(n_images, params=params, seed=seed)
+        prints: list[str] = []
+        globals_scope = Scope()
+        self._allocate_codimensioned(machine, globals_scope)
+        machine.scratch["lang.prints"] = prints
+        machine.scratch["lang.capture"] = capture_prints
+        machine.scratch["lang.globals"] = globals_scope
+
+        interp = self
+
+        def kernel(img):
+            env = Scope(parent=globals_scope)
+            try:
+                yield from interp.exec_block(img, env, interp.program.body)
+            except _ReturnSignal as ret:
+                return ret.value
+            return None
+
+        machine.launch(kernel)
+        results = machine.run()
+        return machine, results, prints
+
+    def _allocate_codimensioned(self, machine, globals_scope: Scope) -> None:
+        """Coarrays and team events are allocation-domain objects: hoist
+        every co-dimensioned top-level declaration to machine setup."""
+        for stmt in _iter_decls(self.program.body):
+            if not stmt.codimension:
+                continue
+            if stmt.type_name == "event":
+                ev = machine.make_event(name=stmt.name)
+                globals_scope.declare(stmt.name, ev)
+            elif stmt.type_name == "lock":
+                lk = machine.make_lock(name=stmt.name)
+                globals_scope.declare(stmt.name, lk)
+            else:
+                shape = 1
+                if stmt.shape is not None:
+                    shape = _const_int(stmt.shape)
+                arr = machine.coarray(stmt.name, shape=shape,
+                                      dtype=_DTYPES[stmt.type_name])
+                globals_scope.declare(stmt.name, arr)
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+
+    def exec_block(self, img, env: Scope, stmts) -> Generator:
+        for stmt in stmts:
+            yield from self.exec_stmt(img, env, stmt)
+
+    def exec_stmt(self, img, env: Scope, stmt) -> Generator:
+        method = getattr(self, f"_exec_{type(stmt).__name__.lower()}", None)
+        if method is None:
+            raise CafError(f"cannot execute {type(stmt).__name__}")
+        yield from method(img, env, stmt)
+
+    def _exec_decl(self, img, env: Scope, stmt: A.Decl) -> Generator:
+        if stmt.codimension:
+            # already hoisted for top-level; inside functions it is an error
+            if not env.has(stmt.name):
+                raise CafError(
+                    f"coarray {stmt.name!r} must be declared at program "
+                    "level (allocation is a team activity)")
+            return
+        if stmt.type_name in ("event", "lock"):
+            raise CafError(
+                f"{stmt.type_name}s must be declared with a co-dimension "
+                "([*]) — they coordinate between images")
+        if stmt.type_name == "team":
+            # a team handle, initialized to the world team (§II-A)
+            env.declare(stmt.name, img.team_world)
+            return
+        dtype = _DTYPES[stmt.type_name]
+        if stmt.shape is None:
+            env.declare(stmt.name, dtype(0))
+        else:
+            extent = yield from self.eval(img, env, stmt.shape)
+            env.declare(stmt.name, np.zeros(int(extent), dtype=dtype))
+        return
+        yield  # pragma: no cover
+
+    def _exec_if(self, img, env: Scope, stmt: A.If) -> Generator:
+        condition = yield from self.eval(img, env, stmt.condition)
+        branch = stmt.then_body if condition else stmt.else_body
+        yield from self.exec_block(img, env, branch)
+
+    def _exec_do(self, img, env: Scope, stmt: A.Do) -> Generator:
+        start = int((yield from self.eval(img, env, stmt.start)))
+        stop = int((yield from self.eval(img, env, stmt.stop)))
+        step = 1
+        if stmt.step is not None:
+            step = int((yield from self.eval(img, env, stmt.step)))
+            if step == 0:
+                raise CafError("do-loop step must be nonzero")
+        env.set(stmt.var, np.int64(start))
+        i = start
+        while (i <= stop) if step > 0 else (i >= stop):
+            env.set(stmt.var, np.int64(i))
+            try:
+                yield from self.exec_block(img, env, stmt.body)
+            except _ExitSignal:
+                break
+            except _CycleSignal:
+                pass
+            i += step
+
+    def _exec_dowhile(self, img, env: Scope, stmt: A.DoWhile) -> Generator:
+        while True:
+            condition = yield from self.eval(img, env, stmt.condition)
+            if not condition:
+                break
+            try:
+                yield from self.exec_block(img, env, stmt.body)
+            except _ExitSignal:
+                break
+            except _CycleSignal:
+                continue
+
+    def _exec_exit(self, img, env, stmt) -> Generator:
+        raise _ExitSignal()
+        yield  # pragma: no cover
+
+    def _exec_cycle(self, img, env, stmt) -> Generator:
+        raise _CycleSignal()
+        yield  # pragma: no cover
+
+    def _exec_return(self, img, env: Scope, stmt: A.Return) -> Generator:
+        value = None
+        if stmt.value is not None:
+            value = yield from self.eval(img, env, stmt.value)
+        raise _ReturnSignal(value)
+
+    def _exec_finish(self, img, env: Scope, stmt: A.Finish) -> Generator:
+        from repro.runtime.team import Team
+
+        team = None
+        if stmt.team is not None:
+            team = yield from self.eval(img, env, stmt.team)
+            if not isinstance(team, Team):
+                raise CafError("finish(...) expects a team value")
+        yield from img.finish_begin(team=team)
+        try:
+            yield from self.exec_block(img, env, stmt.body)
+        finally:
+            yield from img.finish_end()
+
+    def _exec_cofence(self, img, env: Scope, stmt: A.Cofence) -> Generator:
+        yield from img.cofence(downward=_direction(stmt.downward),
+                               upward=_direction(stmt.upward))
+
+    def _exec_print(self, img, env: Scope, stmt: A.Print) -> Generator:
+        parts = []
+        for expr in stmt.values:
+            value = yield from self.eval(img, env, expr)
+            parts.append(str(value))
+        line = f"[img {img.rank} @ {img.now * 1e6:.2f}us] " + " ".join(parts)
+        img.machine.scratch["lang.prints"].append(line)
+        if not img.machine.scratch["lang.capture"]:
+            print(line)
+
+    def _exec_assign(self, img, env: Scope, stmt: A.Assign) -> Generator:
+        value = yield from self.eval(img, env, stmt.value)
+        yield from self.store(img, env, stmt.target, value)
+
+    def _exec_callstmt(self, img, env: Scope, stmt: A.CallStmt) -> Generator:
+        yield from self.eval_call(img, env, stmt.call, statement=True)
+
+    def _exec_copyasync(self, img, env: Scope, stmt: A.CopyAsync) -> Generator:
+        dest = yield from self.eval_location(img, env, stmt.dest, "dest")
+        src = yield from self.eval_location(img, env, stmt.src, "src")
+        events = []
+        for e in stmt.events:
+            events.append((yield from self.eval_event(img, env, e)))
+        pre = src_ev = dest_ev = None
+        if len(events) == 1:
+            dest_ev = events[0]
+        elif len(events) == 2:
+            src_ev, dest_ev = events
+        elif len(events) == 3:
+            pre, src_ev, dest_ev = events
+        img.copy_async(dest, src, pre_event=pre, src_event=src_ev,
+                       dest_event=dest_ev)
+        return
+        yield  # pragma: no cover
+
+    def _exec_spawn(self, img, env: Scope, stmt: A.Spawn) -> Generator:
+        fn_def = self.program.functions.get(stmt.function)
+        if fn_def is None:
+            raise CafError(f"spawn of unknown function {stmt.function!r}")
+        target = int((yield from self.eval(img, env, stmt.image)))
+        args = []
+        for arg in stmt.args:
+            args.append((yield from self.eval_spawn_arg(img, env, arg)))
+        if len(args) != len(fn_def.params):
+            raise CafError(
+                f"{stmt.function} takes {len(fn_def.params)} argument(s), "
+                f"spawn passed {len(args)}")
+        event = None
+        if stmt.event is not None:
+            event = yield from self.eval_event(img, env, stmt.event)
+        shipped = self.make_function(fn_def)
+        yield from img.spawn(shipped, target, *args, event=event)
+
+    # ------------------------------------------------------------------ #
+    # Functions
+    # ------------------------------------------------------------------ #
+
+    def make_function(self, fn_def: A.FunctionDef):
+        """Wrap a FunctionDef as a runtime-shippable generator function."""
+        interp = self
+
+        def caf_function(img, *args):
+            machine = img.machine
+            globals_scope = machine.scratch["lang.globals"]
+            env = Scope(parent=globals_scope)
+            for param, value in zip(fn_def.params, args):
+                env.declare(param, value)
+            try:
+                yield from interp.exec_block(img, env, fn_def.body)
+            except _ReturnSignal as ret:
+                return ret.value
+            return None
+
+        caf_function.__name__ = fn_def.name
+        return caf_function
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+
+    def eval(self, img, env: Scope, expr) -> Generator:
+        if isinstance(expr, A.Num):
+            return expr.value
+        if isinstance(expr, A.Str):
+            return expr.value
+        if isinstance(expr, A.Bool):
+            return expr.value
+        if isinstance(expr, A.Var):
+            value = env.lookup(expr.name)
+            if isinstance(value, Coarray):
+                return value.local_at(img.rank)
+            if isinstance(value, CoarrayRef):
+                # a by-reference spawn argument: reads go through the ref
+                if value.world_rank == img.rank:
+                    return _scalarize(value.read())
+                got = yield from img.get(value)
+                return _scalarize(got)
+            return value
+        if isinstance(expr, A.UnaryOp):
+            operand = yield from self.eval(img, env, expr.operand)
+            return (not operand) if expr.op == "not" else -operand
+        if isinstance(expr, A.BinOp):
+            return (yield from self.eval_binop(img, env, expr))
+        if isinstance(expr, A.Call):
+            return (yield from self.eval_call(img, env, expr))
+        if isinstance(expr, A.Index):
+            return (yield from self.eval_index_read(img, env, expr))
+        raise CafError(f"cannot evaluate {type(expr).__name__}")
+
+    def eval_binop(self, img, env: Scope, expr: A.BinOp) -> Generator:
+        left = yield from self.eval(img, env, expr.left)
+        if expr.op == "and":
+            if not left:
+                return False
+            right = yield from self.eval(img, env, expr.right)
+            return bool(right)
+        if expr.op == "or":
+            if left:
+                return True
+            right = yield from self.eval(img, env, expr.right)
+            return bool(right)
+        right = yield from self.eval(img, env, expr.right)
+        ops = {
+            "+": lambda a, b: a + b, "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": _fortran_divide,
+            "**": lambda a, b: a ** b,
+            "==": lambda a, b: a == b, "/=": lambda a, b: a != b,
+            "<": lambda a, b: a < b, ">": lambda a, b: a > b,
+            "<=": lambda a, b: a <= b, ">=": lambda a, b: a >= b,
+        }
+        return ops[expr.op](left, right)
+
+    def eval_index_read(self, img, env: Scope, expr: A.Index) -> Generator:
+        base_name = expr.base.name if isinstance(expr.base, A.Var) else None
+        if base_name is not None and not env.has(base_name) \
+                and expr.image is None \
+                and not isinstance(expr.selector, A.Slice):
+            # `name(x)` where name is not a variable: a one-argument call
+            # (the classic Fortran indexing/call ambiguity).
+            call = A.Call(name=base_name, args=(expr.selector,))
+            return (yield from self.eval_call(img, env, call))
+        if base_name is None or not env.has(base_name):
+            raise CafError(f"unknown array {base_name!r}")
+        obj = env.lookup(base_name)
+        if isinstance(obj, EventVar):
+            raise CafError(
+                f"event {base_name!r} cannot be read; use event_wait")
+        if isinstance(obj, Coarray):
+            rank = img.rank
+            if expr.image is not None:
+                rank = int((yield from self.eval(img, env, expr.image)))
+                rank = _team_rank_to_world(img, rank)
+            index = yield from self.eval_selector(img, env, expr.selector,
+                                                  obj.local_at(img.rank))
+            if rank == img.rank:
+                return _scalarize(obj.local_at(rank)[index])
+            value = yield from img.get(CoarrayRef(obj, rank, index))
+            return _scalarize(value)
+        # plain local array
+        if expr.image is not None:
+            raise CafError(
+                f"{base_name!r} is not a coarray; it has no co-dimension")
+        arr = obj
+        index = yield from self.eval_selector(img, env, expr.selector, arr)
+        return _scalarize(np.asarray(arr)[index])
+
+    def eval_selector(self, img, env: Scope, selector, arr) -> Generator:
+        """Translate a 1-based Fortran selector to a numpy index."""
+        if selector is None:
+            return slice(None)
+        if isinstance(selector, A.Slice):
+            lo = 1 if selector.lo is None else int(
+                (yield from self.eval(img, env, selector.lo)))
+            hi = len(arr) if selector.hi is None else int(
+                (yield from self.eval(img, env, selector.hi)))
+            _check_bounds(lo, len(arr))
+            _check_bounds(hi, len(arr))
+            return slice(lo - 1, hi)
+        value = int((yield from self.eval(img, env, selector)))
+        _check_bounds(value, len(arr))
+        return value - 1
+
+    # -- locations (copy_async endpoints) -------------------------------- #
+
+    def eval_location(self, img, env: Scope, expr, what: str) -> Generator:
+        """A data location: CoarrayRef for coarrays, numpy view for
+        locals."""
+        if isinstance(expr, A.Var):
+            obj = env.lookup(expr.name)
+            if isinstance(obj, Coarray):
+                return CoarrayRef(obj, img.rank, slice(None))
+            if isinstance(obj, np.ndarray):
+                return obj
+            raise CafError(
+                f"copy_async {what} {expr.name!r} must be an array")
+        if isinstance(expr, A.Index) and isinstance(expr.base, A.Var):
+            obj = env.lookup(expr.base.name)
+            if isinstance(obj, Coarray):
+                rank = img.rank
+                if expr.image is not None:
+                    rank = int((yield from self.eval(img, env, expr.image)))
+                    rank = _team_rank_to_world(img, rank)
+                index = yield from self.eval_selector(
+                    img, env, expr.selector, obj.local_at(img.rank))
+                return CoarrayRef(obj, rank, index)
+            if isinstance(obj, np.ndarray):
+                if expr.image is not None:
+                    raise CafError(
+                        f"{expr.base.name!r} has no co-dimension")
+                index = yield from self.eval_selector(img, env,
+                                                      expr.selector, obj)
+                view = obj[index if isinstance(index, slice)
+                           else slice(index, index + 1)]
+                return view
+        raise CafError(f"invalid copy_async {what} expression")
+
+    def eval_event(self, img, env: Scope, expr) -> Generator:
+        if isinstance(expr, A.Var):
+            obj = env.lookup(expr.name)
+            if isinstance(obj, (EventVar, EventRef)):
+                return obj
+            raise CafError(f"{expr.name!r} is not an event")
+        if isinstance(expr, A.Index) and isinstance(expr.base, A.Var):
+            obj = env.lookup(expr.base.name)
+            if isinstance(obj, EventVar):
+                if expr.selector is not None:
+                    raise CafError("events are scalars; use e[p]")
+                rank = int((yield from self.eval(img, env, expr.image)))
+                return obj.ref_for(_team_rank_to_world(img, rank))
+        raise CafError("expected an event or event[image]")
+
+    def eval_spawn_arg(self, img, env: Scope, expr) -> Generator:
+        """§II-C.2 argument semantics: coarray sections and events by
+        reference, everything else by value."""
+        if isinstance(expr, A.Var) and env.has(expr.name):
+            obj = env.lookup(expr.name)
+            if isinstance(obj, (Coarray, EventVar)):
+                return obj
+        if isinstance(expr, A.Index) and isinstance(expr.base, A.Var) \
+                and env.has(expr.base.name):
+            obj = env.lookup(expr.base.name)
+            if isinstance(obj, Coarray) and expr.image is not None:
+                rank = int((yield from self.eval(img, env, expr.image)))
+                rank = _team_rank_to_world(img, rank)
+                index = yield from self.eval_selector(
+                    img, env, expr.selector, obj.local_at(img.rank))
+                return CoarrayRef(obj, rank, index)
+            if isinstance(obj, EventVar):
+                return (yield from self.eval_event(img, env, expr))
+        return (yield from self.eval(img, env, expr))
+
+    # -- stores -------------------------------------------------------------- #
+
+    def store(self, img, env: Scope, target, value) -> Generator:
+        if isinstance(target, A.Var):
+            if not env.has(target.name):
+                raise CafError(f"assignment to undeclared name "
+                               f"{target.name!r}")
+            current = env.lookup(target.name)
+            if isinstance(current, Coarray):
+                current.local_at(img.rank)[:] = value
+            elif isinstance(current, CoarrayRef):
+                # by-reference spawn argument: writes go through the ref
+                if current.world_rank == img.rank:
+                    current.write(value)
+                else:
+                    yield from img.put(current, value)
+            elif isinstance(current, np.ndarray):
+                current[:] = value
+            else:
+                env.set(target.name, _coerce_like(current, value))
+            return
+        if isinstance(target, A.Index) and isinstance(target.base, A.Var):
+            obj = env.lookup(target.base.name)
+            if isinstance(obj, Coarray):
+                rank = img.rank
+                if target.image is not None:
+                    rank = int((yield from self.eval(img, env,
+                                                     target.image)))
+                    rank = _team_rank_to_world(img, rank)
+                index = yield from self.eval_selector(
+                    img, env, target.selector, obj.local_at(img.rank))
+                if rank == img.rank:
+                    obj.local_at(rank)[index] = value
+                else:
+                    yield from img.put(CoarrayRef(obj, rank, index), value)
+                return
+            if isinstance(obj, np.ndarray):
+                if target.image is not None:
+                    raise CafError(
+                        f"{target.base.name!r} has no co-dimension")
+                index = yield from self.eval_selector(
+                    img, env, target.selector, obj)
+                obj[index] = value
+                return
+        raise CafError("invalid assignment target")
+
+    # ------------------------------------------------------------------ #
+    # Calls
+    # ------------------------------------------------------------------ #
+
+    def eval_call(self, img, env: Scope, call: A.Call,
+                  statement: bool = False) -> Generator:
+        from repro.lang import builtins as B
+
+        args = []
+        for arg in call.args:
+            if call.name in B.EVENT_ARG_BUILTINS and args == []:
+                args.append((yield from self.eval_event(img, env, arg)))
+            else:
+                args.append((yield from self.eval(img, env, arg)))
+
+        builtin = B.lookup(call.name)
+        if builtin is not None:
+            return (yield from builtin(img, *args))
+
+        fn_def = self.program.functions.get(call.name)
+        if fn_def is not None:
+            if not statement:
+                raise CafError(
+                    f"user function {call.name!r} may only be invoked "
+                    "with `call` or `spawn`")
+            # local invocation: evaluate by-reference args like spawn does
+            ref_args = []
+            for arg in call.args:
+                ref_args.append(
+                    (yield from self.eval_spawn_arg(img, env, arg)))
+            fn = self.make_function(fn_def)
+            return (yield from fn(img, *ref_args))
+        raise CafError(f"unknown function or subroutine {call.name!r}")
+
+
+# --------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------- #
+
+def _iter_decls(stmts):
+    for stmt in stmts:
+        if isinstance(stmt, A.Decl):
+            yield stmt
+        elif isinstance(stmt, A.If) and stmt.condition == A.Bool(True) \
+                and all(isinstance(s, A.Decl) for s in stmt.then_body):
+            yield from stmt.then_body
+
+
+def _const_int(expr) -> int:
+    if isinstance(expr, A.Num) and isinstance(expr.value, int):
+        return expr.value
+    raise CafError("coarray extents must be integer literals")
+
+
+def _direction(value: Optional[str]) -> Optional[str]:
+    if value is None:
+        return None
+    if value in ("read", "write", "any"):
+        return value
+    raise CafError(f"cofence direction must be READ/WRITE/ANY, "
+                   f"got {value!r}")
+
+
+def _team_rank_to_world(img, rank: int) -> int:
+    if not 0 <= rank < img.nimages:
+        raise CafError(
+            f"image index {rank} out of range [0, {img.nimages})")
+    return rank
+
+
+def _check_bounds(i: int, extent: int) -> None:
+    if not 1 <= i <= extent:
+        raise CafError(
+            f"index {i} out of bounds for extent {extent} (arrays are "
+            "1-based)")
+
+
+def _scalarize(value):
+    arr = np.asarray(value)
+    if arr.ndim == 0:
+        return arr[()]
+    return arr
+
+
+def _fortran_divide(a, b):
+    if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+        return int(a) // int(b)  # Fortran integer division truncates
+    return a / b
+
+
+def _coerce_like(current, value):
+    if isinstance(current, np.integer):
+        return np.int64(int(value))
+    if isinstance(current, np.floating):
+        return np.float64(value)
+    if isinstance(current, np.bool_):
+        return np.bool_(bool(value))
+    return value
+
+
+def run_program(source: str, n_images: int, params=None, seed: int = 0,
+                capture_prints: bool = False):
+    """Parse and run a surface program; returns ``(machine, per-image
+    results, printed lines)``."""
+    return Interpreter(parse(source)).run(
+        n_images, params=params, seed=seed, capture_prints=capture_prints)

@@ -1,0 +1,56 @@
+"""Simulated interconnect: the GASNet-shaped communication substrate.
+
+Layers, bottom to top:
+
+- :mod:`repro.net.topology` — where latency comes from (uniform,
+  hierarchical, hypercube-distance models) and the LogGP-flavoured
+  machine parameters;
+- :mod:`repro.net.transport` — NICs with serialized injection, message
+  delivery, optional delivery acknowledgments and jitter;
+- :mod:`repro.net.flowcontrol` — credit-based limits on outstanding
+  messages (models the GASNet flow control behind the paper's Fig. 14
+  anomaly);
+- :mod:`repro.net.active_messages` — GASNet-style active messages
+  (short/medium/long, with the medium-payload cap that limits UTS steal
+  batches to 9 work items in the paper);
+- :mod:`repro.net.gasnet` — non-blocking put/get with explicit and
+  implicit handles plus access regions.
+"""
+
+from repro.net.topology import (
+    MachineParams,
+    Topology,
+    UniformTopology,
+    HierarchicalTopology,
+    HypercubeTopology,
+    TorusTopology,
+)
+from repro.net.transport import Message, Network, DeliveryReceipt
+from repro.net.flowcontrol import CreditManager
+from repro.net.active_messages import (
+    AMLayer,
+    AMCategory,
+    AMSizeError,
+    HandlerContext,
+)
+from repro.net.gasnet import Gasnet, Segment, AccessRegionError
+
+__all__ = [
+    "MachineParams",
+    "Topology",
+    "UniformTopology",
+    "HierarchicalTopology",
+    "HypercubeTopology",
+    "TorusTopology",
+    "Message",
+    "Network",
+    "DeliveryReceipt",
+    "CreditManager",
+    "AMLayer",
+    "AMCategory",
+    "AMSizeError",
+    "HandlerContext",
+    "Gasnet",
+    "Segment",
+    "AccessRegionError",
+]

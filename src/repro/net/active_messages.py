@@ -1,0 +1,169 @@
+"""GASNet-style active messages.
+
+An active message names a *handler* that runs at the destination when the
+message is delivered.  Three categories mirror GASNet:
+
+- ``SHORT``  — a few words of arguments, no payload;
+- ``MEDIUM`` — payload up to ``MachineParams.am_medium_max`` bytes
+  (the cap that limits a UTS steal to 9 work descriptors in the paper);
+- ``LONG``   — bulk payload destined for a registered segment, no cap.
+
+Handlers are either plain callables (run inline at delivery time, like
+GASNet handler context: no blocking allowed) or generator functions
+(spawned as a simulation task — this is how shipped functions execute).
+"""
+
+from __future__ import annotations
+
+import enum
+import inspect
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.tasks import Task
+from repro.net.transport import DeliveryReceipt, Message, Network
+from repro.net.flowcontrol import CreditManager
+
+
+class AMCategory(enum.Enum):
+    SHORT = "short"
+    MEDIUM = "medium"
+    LONG = "long"
+
+
+class AMSizeError(ValueError):
+    """Payload too large for the requested AM category."""
+
+
+class HandlerContext:
+    """What a handler sees when it runs at the destination image.
+
+    ``payload`` carries the message's bulk data (or ``None``); handler
+    positional arguments arrive as the handler's ``*args``.
+    """
+
+    __slots__ = ("am", "image", "src", "message", "payload")
+
+    def __init__(self, am: "AMLayer", image: int, src: int, message: Message,
+                 payload: Any):
+        self.am = am
+        self.image = image
+        self.src = src
+        self.message = message
+        self.payload = payload
+
+    def reply(self, handler: str, args: tuple = (),
+              payload: Any = None, payload_size: int = 0,
+              category: AMCategory = AMCategory.SHORT) -> DeliveryReceipt:
+        """Send an AM back to the requester (no flow-control credits, as
+        GASNet replies are credit-exempt to avoid deadlock)."""
+        return self.am.request_nb(
+            self.image, self.src, handler, args=args, payload=payload,
+            payload_size=payload_size, category=category,
+        )
+
+
+class AMLayer:
+    """Active-message dispatch over a :class:`Network`."""
+
+    def __init__(self, network: Network,
+                 credit_manager: Optional[CreditManager] = None):
+        self.network = network
+        self.sim = network.sim
+        self.params = network.params
+        self.credits = credit_manager
+        self._handlers: dict[str, Callable] = {}
+
+    # ------------------------------------------------------------------ #
+    # Handler registry
+    # ------------------------------------------------------------------ #
+
+    def register(self, name: str, fn: Callable) -> None:
+        """Register a handler.  Generator functions become tasks at
+        delivery; plain callables run inline."""
+        if name in self._handlers:
+            raise ValueError(f"AM handler {name!r} already registered")
+        self._handlers[name] = fn
+
+    def ensure_registered(self, name: str, fn: Callable) -> None:
+        """Idempotent registration (used by layers that lazily install
+        their handlers)."""
+        if name not in self._handlers:
+            self._handlers[name] = fn
+
+    # ------------------------------------------------------------------ #
+    # Requests
+    # ------------------------------------------------------------------ #
+
+    def _check_size(self, category: AMCategory, payload_size: int) -> None:
+        if payload_size < 0:
+            raise AMSizeError(f"negative payload size {payload_size}")
+        if category is AMCategory.SHORT and payload_size > 0:
+            raise AMSizeError("SHORT active messages carry no payload")
+        if (category is AMCategory.MEDIUM
+                and payload_size > self.params.am_medium_max):
+            raise AMSizeError(
+                f"MEDIUM payload {payload_size}B exceeds "
+                f"am_medium_max={self.params.am_medium_max}B"
+            )
+
+    def request_nb(self, src: int, dst: int, handler: str,
+                   args: tuple = (), payload: Any = None,
+                   payload_size: int = 0,
+                   category: AMCategory = AMCategory.MEDIUM,
+                   want_ack: bool = False,
+                   kind: Optional[str] = None) -> DeliveryReceipt:
+        """Fire an active message without flow-control credits.
+
+        Safe from any context (including inline handlers).  Returns the
+        transport receipt; ``receipt.injected`` is source-buffer
+        local-data completion.
+        """
+        if handler not in self._handlers:
+            raise KeyError(f"unknown AM handler {handler!r}")
+        self._check_size(category, payload_size)
+        msg = Message(
+            src, dst, payload_size, (handler, args, payload),
+            kind=kind or f"am.{handler}",
+            on_deliver=self._on_deliver,
+        )
+        self.network.stats.incr(f"am.{category.value}")
+        return self.network.send(msg, want_ack=want_ack)
+
+    def request(self, src: int, dst: int, handler: str,
+                args: tuple = (), payload: Any = None,
+                payload_size: int = 0,
+                category: AMCategory = AMCategory.MEDIUM,
+                want_ack: bool = False,
+                kind: Optional[str] = None
+                ) -> Generator[Any, Any, DeliveryReceipt]:
+        """Credit-aware request; use with ``yield from`` inside a task.
+
+        Blocks while the (src, dst) credit pool is exhausted.  The credit
+        is returned when the message's delivery ack comes back, so
+        enabling credits forces ``want_ack``.
+        """
+        if self.credits is not None:
+            yield from self.credits.acquire(src, dst)
+            want_ack = True
+        receipt = self.request_nb(
+            src, dst, handler, args=args, payload=payload,
+            payload_size=payload_size, category=category,
+            want_ack=want_ack, kind=kind,
+        )
+        if self.credits is not None:
+            receipt.delivered.add_done_callback(
+                lambda _f: self.credits.release(src, dst)
+            )
+        return receipt
+
+    # ------------------------------------------------------------------ #
+
+    def _on_deliver(self, msg: Message) -> None:
+        handler_name, args, payload = msg.payload
+        fn = self._handlers[handler_name]
+        ctx = HandlerContext(self, msg.dst, msg.src, msg, payload)
+        if inspect.isgeneratorfunction(fn):
+            Task(self.sim, fn(ctx, *args),
+                 name=f"am.{handler_name}@{msg.dst}")
+        else:
+            fn(ctx, *args)

@@ -1,0 +1,232 @@
+"""Non-blocking one-sided put/get with explicit and implicit handles.
+
+This mirrors the slice of GASNet the CAF 2.0 runtime is built on:
+
+- registered *segments*: named numpy arrays, one instance per image, that
+  remote images may read and write by (image, segment, index);
+- ``put_nb`` / ``get_nb``: non-blocking operations returning an explicit
+  :class:`OpHandle`;
+- ``put_nbi`` / ``get_nbi``: implicit-handle operations tracked per image
+  and completed in bulk by ``wait_syncnbi_all``;
+- *access regions*: ``begin_accessregion`` / ``end_accessregion`` scoop all
+  implicit operations started in between into one aggregate handle (the
+  GASNet feature the paper contrasts ``finish`` against — regions cannot
+  nest, which we enforce).
+
+Completion points exposed per operation:
+
+- ``local_data`` — for a put, the source buffer has been read (injection
+  complete); for a get, the destination buffer has been written (reply
+  delivered).
+- ``done`` — the operation is complete at both ends (put: remote write
+  performed and acknowledged; get: same as ``local_data``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.sim.tasks import Future, all_of
+from repro.net.active_messages import AMCategory, AMLayer, HandlerContext
+
+
+class AccessRegionError(RuntimeError):
+    """Misuse of implicit-handle access regions (e.g. nesting)."""
+
+
+class Segment:
+    """A named, remotely-accessible array with one instance per image.
+
+    When ``members`` is given, storage exists only on those images (this
+    is how coarrays allocated over a sub-team are represented); accessing
+    the segment on a non-member image is an error.
+    """
+
+    def __init__(self, name: str, n_images: int, shape: Any,
+                 dtype: Any = np.float64, fill: Any = 0,
+                 members: Any = None):
+        self.name = name
+        self.n_images = n_images
+        member_set = set(range(n_images)) if members is None else set(members)
+        if not member_set <= set(range(n_images)):
+            raise ValueError("segment members out of image range")
+        self.members = member_set
+        self.locals: list[Optional[np.ndarray]] = [
+            np.full(shape, fill, dtype=dtype) if i in member_set else None
+            for i in range(n_images)
+        ]
+
+    def local(self, image: int) -> np.ndarray:
+        arr = self.locals[image]
+        if arr is None:
+            raise ValueError(
+                f"segment {self.name!r} is not allocated on image {image}"
+            )
+        return arr
+
+    def nbytes_of(self, index: Any) -> int:
+        """Simulated size of the selected elements, in bytes."""
+        sample = next(a for a in self.locals if a is not None)
+        view = sample[index]
+        return int(np.asarray(view).nbytes)
+
+
+class OpHandle:
+    """Explicit handle for one non-blocking operation."""
+
+    __slots__ = ("op", "local_data", "done", "value")
+
+    def __init__(self, op: str, tag: str):
+        self.op = op
+        self.local_data = Future(f"{tag}.local_data")
+        self.done = Future(f"{tag}.done")
+        #: for gets, the fetched data (valid once ``done`` resolves)
+        self.value: Any = None
+
+
+class Gasnet:
+    """The one-sided API, bound to an AM layer."""
+
+    _GET_REQ = "gasnet.get_req"
+    _GET_REPLY = "gasnet.get_reply"
+    _PUT_PAYLOAD = "gasnet.put"
+
+    def __init__(self, am: AMLayer):
+        self.am = am
+        self.sim = am.sim
+        self._segments: dict[str, Segment] = {}
+        n = am.params.n_images
+        self._implicit: list[list[OpHandle]] = [[] for _ in range(n)]
+        self._region_open = [False] * n
+        self._pending_replies: dict[int, OpHandle] = {}
+        self._reply_seq = 0
+        am.ensure_registered(self._GET_REQ, self._h_get_request)
+        am.ensure_registered(self._GET_REPLY, self._h_get_reply)
+        am.ensure_registered(self._PUT_PAYLOAD, self._h_put)
+
+    # ------------------------------------------------------------------ #
+    # Segments
+    # ------------------------------------------------------------------ #
+
+    def register_segment(self, segment: Segment) -> Segment:
+        if segment.name in self._segments:
+            raise ValueError(f"segment {segment.name!r} already registered")
+        if segment.n_images != self.am.params.n_images:
+            raise ValueError(
+                f"segment spans {segment.n_images} images but the machine "
+                f"has {self.am.params.n_images}"
+            )
+        self._segments[segment.name] = segment
+        return segment
+
+    def segment(self, name: str) -> Segment:
+        try:
+            return self._segments[name]
+        except KeyError:
+            raise KeyError(f"no segment named {name!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # Explicit-handle operations
+    # ------------------------------------------------------------------ #
+
+    def put_nb(self, src_image: int, dst_image: int, seg_name: str,
+               index: Any, data: Any) -> OpHandle:
+        """Write ``data`` into ``segment[index]`` on ``dst_image``."""
+        seg = self.segment(seg_name)
+        data = np.asarray(data)
+        handle = OpHandle("put", f"put@{src_image}->{dst_image}/{seg_name}")
+
+        receipt = self.am.request_nb(
+            src_image, dst_image, self._PUT_PAYLOAD,
+            args=(seg_name, index),
+            payload=data, payload_size=int(data.nbytes),
+            category=AMCategory.LONG, want_ack=True, kind="gasnet.put",
+        )
+        receipt.injected.add_done_callback(
+            lambda _f: handle.local_data.set_result(None))
+        receipt.delivered.add_done_callback(
+            lambda _f: handle.done.set_result(None))
+        return handle
+
+    def get_nb(self, src_image: int, dst_image: int, seg_name: str,
+               index: Any) -> OpHandle:
+        """Fetch ``segment[index]`` from ``dst_image``."""
+        seg = self.segment(seg_name)
+        handle = OpHandle("get", f"get@{src_image}<-{dst_image}/{seg_name}")
+        self._reply_seq += 1
+        token = self._reply_seq
+        self._pending_replies[token] = handle
+        self.am.request_nb(
+            src_image, dst_image, self._GET_REQ,
+            args=(seg_name, index, token),
+            category=AMCategory.SHORT, kind="gasnet.get_req",
+        )
+        return handle
+
+    # ------------------------------------------------------------------ #
+    # Implicit-handle operations and access regions
+    # ------------------------------------------------------------------ #
+
+    def put_nbi(self, src_image: int, dst_image: int, seg_name: str,
+                index: Any, data: Any) -> OpHandle:
+        handle = self.put_nb(src_image, dst_image, seg_name, index, data)
+        self._implicit[src_image].append(handle)
+        return handle
+
+    def get_nbi(self, src_image: int, dst_image: int, seg_name: str,
+                index: Any) -> OpHandle:
+        handle = self.get_nb(src_image, dst_image, seg_name, index)
+        self._implicit[src_image].append(handle)
+        return handle
+
+    def wait_syncnbi_all(self, image: int) -> Generator[Any, Any, None]:
+        """Block until every implicit-handle op started by ``image`` is
+        globally done (GASNet semantics: completion only, no direction
+        control — the contrast with ``cofence``)."""
+        handles, self._implicit[image] = self._implicit[image], []
+        if handles:
+            yield all_of([h.done for h in handles], "syncnbi_all")
+
+    def begin_accessregion(self, image: int) -> None:
+        if self._region_open[image]:
+            raise AccessRegionError(
+                "GASNet access regions cannot be nested (paper §III-A.1)"
+            )
+        if self._implicit[image]:
+            raise AccessRegionError(
+                "implicit operations pending outside an access region"
+            )
+        self._region_open[image] = True
+
+    def end_accessregion(self, image: int) -> Future:
+        if not self._region_open[image]:
+            raise AccessRegionError("no access region open")
+        self._region_open[image] = False
+        handles, self._implicit[image] = self._implicit[image], []
+        return all_of([h.done for h in handles], "accessregion")
+
+    # ------------------------------------------------------------------ #
+    # Handlers
+    # ------------------------------------------------------------------ #
+
+    def _h_put(self, ctx: HandlerContext, seg_name: str, index: Any) -> None:
+        seg = self.segment(seg_name)
+        seg.local(ctx.image)[index] = ctx.payload
+
+    def _h_get_request(self, ctx: HandlerContext, seg_name: str,
+                       index: Any, token: int) -> None:
+        seg = self.segment(seg_name)
+        data = np.copy(seg.local(ctx.image)[index])
+        ctx.reply(
+            self._GET_REPLY, args=(token,),
+            payload=data, payload_size=int(np.asarray(data).nbytes),
+            category=AMCategory.LONG,
+        )
+
+    def _h_get_reply(self, ctx: HandlerContext, token: int) -> None:
+        handle = self._pending_replies.pop(token)
+        handle.value = ctx.payload
+        handle.local_data.set_result(ctx.payload)
+        handle.done.set_result(ctx.payload)

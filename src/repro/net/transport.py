@@ -1,0 +1,141 @@
+"""Message transport: NIC injection, wire latency, delivery, acks.
+
+Cost model per message (see :class:`repro.net.topology.MachineParams`):
+
+1. *Injection*: the sender's NIC is a serial resource.  A message starts
+   injecting when the NIC frees up and occupies it for
+   ``o_send + size / bandwidth``.  When injection ends, the **source buffer
+   has been read** — this is the transport-level "local data completion"
+   event the `cofence` construct builds on.
+2. *Wire*: the message then spends ``topology.latency(src, dst)`` on the
+   wire (optionally jittered, which can reorder messages between a pair —
+   the termination detector must tolerate this).
+3. *Delivery*: at arrival the receiver is charged ``o_recv`` and the
+   message's ``on_deliver`` callback runs.
+4. *Ack* (optional): a NIC-level acknowledgment arrives back at the sender
+   ``ack_latency_factor * latency`` later — the transport-level "local
+   operation completion" event.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.tasks import Future
+from repro.sim.trace import Stats
+from repro.net.topology import MachineParams
+
+
+class Message:
+    """One message in flight.  ``payload`` is arbitrary Python data whose
+    simulated footprint is ``size`` bytes (we model cost, not encoding)."""
+
+    __slots__ = ("seq", "src", "dst", "size", "payload", "kind", "on_deliver")
+
+    _seq = itertools.count()
+
+    def __init__(self, src: int, dst: int, size: int, payload: Any,
+                 kind: str = "msg",
+                 on_deliver: Optional[Callable[["Message"], None]] = None):
+        if size < 0:
+            raise ValueError(f"negative message size {size}")
+        self.seq = next(Message._seq)
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.payload = payload
+        self.kind = kind
+        self.on_deliver = on_deliver
+
+    def __repr__(self) -> str:
+        return (f"<Message #{self.seq} {self.kind} {self.src}->{self.dst} "
+                f"{self.size}B>")
+
+
+class DeliveryReceipt:
+    """Handles returned by :meth:`Network.send`.
+
+    Attributes
+    ----------
+    injected:
+        Resolves when the sender NIC has finished reading the source
+        buffer (transport local-data completion).
+    delivered:
+        Resolves (at the sender, after the ack round trip) when the
+        message's deliver callback has run at the destination.  Only
+        tracked when the send requested an ack.
+    """
+
+    __slots__ = ("message", "injected", "delivered")
+
+    def __init__(self, message: Message, want_ack: bool):
+        self.message = message
+        self.injected = Future(f"msg{message.seq}.injected")
+        self.delivered = Future(f"msg{message.seq}.delivered") if want_ack else None
+
+
+class Network:
+    """The interconnect: owns per-image NIC state and delivers messages."""
+
+    def __init__(self, sim: Simulator, params: MachineParams,
+                 stats: Optional[Stats] = None,
+                 jitter_rng: Optional[np.random.Generator] = None,
+                 tracer=None):
+        self.sim = sim
+        self.params = params
+        self.stats = stats if stats is not None else Stats()
+        self.tracer = tracer
+        self._nic_free_at = np.zeros(params.n_images, dtype=np.float64)
+        if params.jitter > 0.0 and jitter_rng is None:
+            jitter_rng = np.random.default_rng(0xC0FFEE)
+        self._jitter_rng = jitter_rng
+
+    # ------------------------------------------------------------------ #
+
+    def send(self, msg: Message, want_ack: bool = False) -> DeliveryReceipt:
+        """Enqueue ``msg`` for injection at its source NIC.
+
+        Non-blocking: backpressure, if any, is the flow-control layer's
+        job.  Returns a :class:`DeliveryReceipt`.
+        """
+        p = self.params
+        receipt = DeliveryReceipt(msg, want_ack)
+
+        start = max(self.sim.now, float(self._nic_free_at[msg.src]))
+        inject_end = start + p.o_send + p.transfer_time(msg.size)
+        self._nic_free_at[msg.src] = inject_end
+
+        lat = p.topology.latency(msg.src, msg.dst)
+        if p.jitter > 0.0:
+            lat *= 1.0 + p.jitter * float(self._jitter_rng.uniform(-1.0, 1.0))
+        arrive = inject_end + lat
+        deliver_done = arrive + p.o_recv
+
+        self.stats.incr("net.msgs")
+        self.stats.incr("net.bytes", msg.size)
+        self.stats.incr(f"net.kind.{msg.kind}")
+        if self.tracer is not None:
+            self.tracer.flow(msg.kind, msg.src, inject_end, msg.dst,
+                             arrive, args={"bytes": msg.size})
+
+        self.sim.schedule_at(inject_end, receipt.injected.set_result, None)
+        self.sim.schedule_at(deliver_done, self._deliver, msg, receipt, lat)
+        return receipt
+
+    def _deliver(self, msg: Message, receipt: DeliveryReceipt,
+                 lat: float) -> None:
+        if msg.on_deliver is not None:
+            msg.on_deliver(msg)
+        if receipt.delivered is not None:
+            ack_delay = self.params.ack_latency_factor * lat
+            self.sim.schedule(ack_delay, receipt.delivered.set_result, None)
+
+    # ------------------------------------------------------------------ #
+
+    def nic_busy_until(self, image: int) -> float:
+        """When the image's NIC injection port next frees (diagnostic)."""
+        return float(self._nic_free_at[image])

@@ -1,0 +1,348 @@
+"""The per-image programming interface.
+
+SPMD kernels are generator functions receiving an :class:`Image` handle —
+the CAF 2.0 "process image" as seen from one activation::
+
+    def kernel(img):
+        A = img.machine.coarray_by_name("A")
+        yield from img.finish_begin()
+        yield from img.spawn(work, (img.rank + 1) % img.nimages)
+        yield from img.finish_end()
+
+Blocking operations are generators (call with ``yield from``);
+asynchronous operations return immediately with an
+:class:`~repro.core.completion.AsyncOp`.
+
+An Image is bound to one *activation* (a main program or one shipped-
+function execution); shipped functions receive their own Image on the
+target, so ``rank``, pending-op tracking and finish attribution are
+always correct for the executing scope.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.sim.tasks import Delay
+from repro.runtime.coarray import CoarrayRef
+from repro.runtime.event import EventRef, EventVar
+from repro.runtime.memory_model import Activation
+from repro.runtime.team import Team
+from repro.core import cofence as _cofence
+from repro.core import collectives as _coll
+from repro.core import collectives_async as _acoll
+from repro.core import copy_async as _copy
+from repro.core import finish as _finish
+from repro.core import spawn as _spawn
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.program import Machine
+
+
+class ImageState:
+    """Durable per-rank state shared by all of the rank's activations."""
+
+    def __init__(self, machine: "Machine", world_rank: int):
+        self.machine = machine
+        self.world_rank = world_rank
+        self.rng = machine.rng_pool[world_rank]
+        #: stack of open finish frames of the main program
+        self.finish_stack: list = []
+        self._finish_seq: dict[int, int] = {}
+        self._coll_seq: dict[int, int] = {}
+
+    def next_finish_seq(self, team_id: int) -> int:
+        seq = self._finish_seq.get(team_id, 0)
+        self._finish_seq[team_id] = seq + 1
+        return seq
+
+    def next_coll_seq(self, team_id: int) -> int:
+        seq = self._coll_seq.get(team_id, 0)
+        self._coll_seq[team_id] = seq + 1
+        return seq
+
+
+class Image:
+    """The handle SPMD kernels and shipped functions program against."""
+
+    def __init__(self, machine: "Machine", world_rank: int,
+                 activation: Activation):
+        self.machine = machine
+        self.rank = world_rank
+        self.activation = activation
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def team_world(self) -> Team:
+        return self.machine.team_world
+
+    @property
+    def nimages(self) -> int:
+        return self.machine.n_images
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """This image's deterministic random stream."""
+        return self.machine.image_state(self.rank).rng
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, seconds."""
+        return self.machine.sim.now
+
+    def team_rank(self, team: Optional[Team] = None) -> int:
+        """My rank within ``team`` (default: the world team)."""
+        return (team or self.team_world).rank_of(self.rank)
+
+    # ------------------------------------------------------------------ #
+    # Computation
+    # ------------------------------------------------------------------ #
+
+    def compute(self, seconds: float) -> Generator[Any, Any, None]:
+        """Model ``seconds`` of local computation (accrues busy time,
+        which the harness turns into load-balance and efficiency plots)."""
+        if seconds < 0:
+            raise ValueError(f"negative compute time {seconds!r}")
+        self.machine.busy.add(self.rank, seconds)
+        if self.machine.tracer is not None:
+            self.machine.tracer.span(self.rank, "compute", self.now,
+                                     seconds)
+        yield Delay(seconds)
+
+    # ------------------------------------------------------------------ #
+    # Asynchronous operations (paper §II-C)
+    # ------------------------------------------------------------------ #
+
+    def copy_async(self, dest, src, pre_event=None, src_event=None,
+                   dest_event=None):
+        """Predicated asynchronous copy; see :func:`repro.core.copy_async
+        .copy_async`."""
+        return _copy.copy_async(self, dest, src, pre_event=pre_event,
+                                src_event=src_event, dest_event=dest_event)
+
+    def spawn(self, fn, target: int, *args,
+              team: Optional[Team] = None, event=None):
+        """Ship ``fn`` to ``target`` (blocking only on flow-control
+        credits); see :func:`repro.core.spawn.spawn`."""
+        return (yield from _spawn.spawn(self, fn, target, *args,
+                                        team=team, event=event))
+
+    # -- asynchronous collectives -------------------------------------- #
+
+    def broadcast_async(self, buf, root: int = 0, team: Optional[Team] = None,
+                        src_event=None, local_event=None, radix: int = 2):
+        return _acoll.broadcast_async(self, buf, root=root, team=team,
+                                      src_event=src_event,
+                                      local_event=local_event, radix=radix)
+
+    def reduce_async(self, value, recvbuf=None, op="sum", root: int = 0,
+                     team: Optional[Team] = None, src_event=None,
+                     local_event=None, radix: int = 2):
+        return _acoll.reduce_async(self, value, recvbuf=recvbuf, op=op,
+                                   root=root, team=team, src_event=src_event,
+                                   local_event=local_event, radix=radix)
+
+    def allreduce_async(self, value, result_buf=None, op="sum",
+                        team: Optional[Team] = None, src_event=None,
+                        local_event=None, radix: int = 2):
+        return _acoll.allreduce_async(self, value, result_buf=result_buf,
+                                      op=op, team=team, src_event=src_event,
+                                      local_event=local_event, radix=radix)
+
+    def barrier_async(self, team: Optional[Team] = None, src_event=None,
+                      local_event=None):
+        return _acoll.barrier_async(self, team=team, src_event=src_event,
+                                    local_event=local_event)
+
+    def gather_async(self, value, root: int = 0, team: Optional[Team] = None,
+                     src_event=None, local_event=None):
+        return _acoll.gather_async(self, value, root=root, team=team,
+                                   src_event=src_event,
+                                   local_event=local_event)
+
+    def scatter_async(self, values, root: int = 0,
+                      team: Optional[Team] = None, src_event=None,
+                      local_event=None):
+        return _acoll.scatter_async(self, values, root=root, team=team,
+                                    src_event=src_event,
+                                    local_event=local_event)
+
+    def allgather_async(self, value, team: Optional[Team] = None,
+                        src_event=None, local_event=None):
+        return _acoll.allgather_async(self, value, team=team,
+                                      src_event=src_event,
+                                      local_event=local_event)
+
+    def alltoall_async(self, values, team: Optional[Team] = None,
+                       src_event=None, local_event=None):
+        return _acoll.alltoall_async(self, values, team=team,
+                                     src_event=src_event,
+                                     local_event=local_event)
+
+    def scan_async(self, value, op="sum", team: Optional[Team] = None,
+                   inclusive: bool = True, src_event=None, local_event=None):
+        return _acoll.scan_async(self, value, op=op, team=team,
+                                 inclusive=inclusive, src_event=src_event,
+                                 local_event=local_event)
+
+    def sort_async(self, values, team: Optional[Team] = None,
+                   src_event=None, local_event=None):
+        return _acoll.sort_async(self, values, team=team,
+                                 src_event=src_event,
+                                 local_event=local_event)
+
+    # ------------------------------------------------------------------ #
+    # Synchronization constructs (paper §III)
+    # ------------------------------------------------------------------ #
+
+    def finish_begin(self, team: Optional[Team] = None):
+        """Enter a finish block; see :func:`repro.core.finish.finish_begin`."""
+        return (yield from _finish.finish_begin(self, team=team))
+
+    def finish_end(self, detector: str = "epoch"):
+        """Leave a finish block (global termination detection); returns the
+        number of allreduce waves used."""
+        return (yield from _finish.finish_end(self, detector=detector))
+
+    def cofence(self, downward: Optional[str] = None,
+                upward: Optional[str] = None):
+        """Local-data-completion fence; see :func:`repro.core.cofence.cofence`."""
+        yield from _cofence.cofence(self, downward=downward, upward=upward)
+
+    def event_wait(self, event: EventVar | EventRef, count: int = 1
+                   ) -> Generator[Any, Any, None]:
+        """Block until ``count`` posts are available on my local counter
+        of ``event``, then consume them.  Acquire semantics (§III-B.4b):
+        earlier operations may still be completing."""
+        ev, home = self._event_home(event)
+        if home != self.rank:
+            raise ValueError(
+                "event_wait must name the caller's own counter "
+                f"(waiting on image {home} from image {self.rank})"
+            )
+        self.machine.stats.incr("event.waits")
+        yield from ev.consume_when_ready(self.rank, count)
+
+    def event_notify(self, event: EventVar | EventRef, count: int = 1
+                     ) -> Generator[Any, Any, None]:
+        """Post ``event`` (on its home image).  Release semantics
+        (§III-B.4a): the notification is held back until the remote
+        effects of this activation's earlier implicit operations are
+        visible, so a waiter that observes the post also observes the
+        data."""
+        release = self.activation.release_waits()
+        if release:
+            from repro.sim.tasks import all_of
+            yield all_of(release, "notify.release")
+        ev, home = self._event_home(event)
+        self.machine.stats.incr("event.notifies")
+        self.machine.post_event(ev.ref_for(home), from_rank=self.rank,
+                                count=count)
+
+    def _event_home(self, event) -> tuple[EventVar, int]:
+        if isinstance(event, EventRef):
+            return event.event, event.world_rank
+        if isinstance(event, EventVar):
+            return event, self.rank
+        raise TypeError(
+            f"expected EventVar or EventRef, got {type(event).__name__}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Blocking collectives and data movement
+    # ------------------------------------------------------------------ #
+
+    def barrier(self, team: Optional[Team] = None):
+        yield from _coll.barrier(self, team=team)
+
+    def allreduce(self, value, op="sum", team: Optional[Team] = None):
+        return (yield from _coll.allreduce(self, value, op=op, team=team))
+
+    def reduce(self, value, op="sum", root: int = 0,
+               team: Optional[Team] = None):
+        return (yield from _coll.reduce(self, value, op=op, root=root,
+                                        team=team))
+
+    def broadcast(self, value, root: int = 0, team: Optional[Team] = None):
+        return (yield from _coll.broadcast(self, value, root=root, team=team))
+
+    def gather(self, value, root: int = 0, team: Optional[Team] = None):
+        return (yield from _coll.gather(self, value, root=root, team=team))
+
+    def allgather(self, value, team: Optional[Team] = None):
+        return (yield from _coll.allgather(self, value, team=team))
+
+    def scatter(self, values, root: int = 0, team: Optional[Team] = None):
+        return (yield from _coll.scatter(self, values, root=root, team=team))
+
+    def alltoall(self, values, team: Optional[Team] = None):
+        return (yield from _coll.alltoall(self, values, team=team))
+
+    def scan(self, value, op="sum", team: Optional[Team] = None,
+             inclusive: bool = True):
+        return (yield from _coll.scan(self, value, op=op, team=team,
+                                      inclusive=inclusive))
+
+    def sort(self, values, team: Optional[Team] = None):
+        return (yield from _coll.sort(self, values, team=team))
+
+    def team_split(self, team: Team, color: int, key: int):
+        """Collectively split ``team``; returns my new team (§II-A)."""
+        return (yield from _coll.team_split(self, team, color, key))
+
+    def ring_allreduce(self, array, op="sum", team: Optional[Team] = None):
+        """Bandwidth-optimal array allreduce (ring reduce-scatter +
+        allgather); see :mod:`repro.core.collectives_algos`."""
+        from repro.core import collectives_algos as _algos
+        return (yield from _algos.ring_allreduce(self, array, op=op,
+                                                 team=team))
+
+    def pipelined_broadcast(self, array, root: int = 0,
+                            team: Optional[Team] = None, segments: int = 8):
+        """Chain-pipelined bulk broadcast; see
+        :mod:`repro.core.collectives_algos`."""
+        from repro.core import collectives_algos as _algos
+        return (yield from _algos.pipelined_broadcast(
+            self, array, root=root, team=team, segments=segments))
+
+    def wait_all(self, ops) -> Generator[Any, Any, None]:
+        """Block until every given AsyncOp is globally done."""
+        from repro.sim.tasks import all_of
+        futures = [op.global_done for op in ops]
+        if futures:
+            yield all_of(futures, "wait_all")
+
+    def wait_any(self, ops) -> Generator[Any, Any, int]:
+        """Block until one of the AsyncOps is globally done; returns its
+        index in the input sequence."""
+        from repro.sim.tasks import any_of
+        ops = list(ops)
+        if not ops:
+            raise ValueError("wait_any of no operations")
+        index, _value = yield any_of([op.global_done for op in ops],
+                                     "wait_any")
+        return index
+
+    def get(self, src: CoarrayRef) -> Generator[Any, Any, Any]:
+        """Blocking one-sided read of a (remote) coarray section.  Returns
+        an array for section reads, a scalar for element reads."""
+        sample = src.coarray.local_at(src.world_rank)[src.index]
+        scalar = np.ndim(sample) == 0
+        buf = np.empty_like(np.atleast_1d(np.asarray(sample)))
+        op = _copy.copy_async(self, buf, src, _explicit=True)
+        yield op.local_data
+        self.machine.stats.incr("blocking.gets")
+        return buf[0] if scalar else buf
+
+    def put(self, dest: CoarrayRef, data) -> Generator[Any, Any, None]:
+        """Blocking one-sided write to a (remote) coarray section; returns
+        once the write is visible at the destination."""
+        buf = np.asarray(data)
+        op = _copy.copy_async(self, dest, buf, _explicit=True)
+        yield op.global_done
+        self.machine.stats.incr("blocking.puts")

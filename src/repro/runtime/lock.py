@@ -1,0 +1,125 @@
+"""Distributed locks.
+
+The PGAS work-stealing algorithm the paper contrasts against (Fig. 2,
+Dinan et al.) locks a victim's queue remotely; RandomAccess's reference
+get-update-put variant is racy precisely because it does *not*.  This
+module provides the lock those algorithms need: one lock word per team
+member, acquired and released with active-message round trips, FIFO
+granting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator, TYPE_CHECKING
+
+from repro.sim.tasks import Future
+from repro.net.active_messages import AMCategory
+from repro.runtime.team import Team
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.program import Machine
+
+_ACQ = "lock.acquire"
+_REL = "lock.release"
+_GRANT = "lock.grant"
+
+
+class LockVar:
+    """One lock per team member, addressable from any image."""
+
+    _anon = itertools.count()
+
+    def __init__(self, machine: "Machine", team: Team, name: str | None = None):
+        self.machine = machine
+        self.team = team
+        self.name = name or f"_lock{next(LockVar._anon)}"
+        # Per-member world rank: holder token or None, plus FIFO waiters.
+        self._held: dict[int, bool] = {w: False for w in team.members}
+        self._queues: dict[int, list[tuple[int, int]]] = {
+            w: [] for w in team.members
+        }
+        self._ensure_handlers()
+
+    # -- handler plumbing -------------------------------------------------- #
+
+    def _ensure_handlers(self) -> None:
+        am = self.machine.am
+
+        def handle_acquire(ctx, lock_name: str, token: int) -> None:
+            lock = self.machine.lock_by_name(lock_name)
+            lock._acquire_at(ctx.image, ctx.src, token)
+
+        def handle_release(ctx, lock_name: str) -> None:
+            lock = self.machine.lock_by_name(lock_name)
+            lock._release_at(ctx.image)
+
+        def handle_grant(ctx, token: int) -> None:
+            fut = self.machine.scratch.pop(("lock.grant", token))
+            fut.set_result(None)
+
+        am.ensure_registered(_ACQ, handle_acquire)
+        am.ensure_registered(_REL, handle_release)
+        am.ensure_registered(_GRANT, handle_grant)
+
+    # -- home-side mechanics ------------------------------------------------ #
+
+    def _acquire_at(self, home: int, requester: int, token: int) -> None:
+        if not self._held[home]:
+            self._held[home] = True
+            self._grant(home, requester, token)
+        else:
+            self._queues[home].append((requester, token))
+
+    def _release_at(self, home: int) -> None:
+        if not self._held[home]:
+            raise RuntimeError(
+                f"lock {self.name!r}@{home} released while not held"
+            )
+        if self._queues[home]:
+            requester, token = self._queues[home].pop(0)
+            self._grant(home, requester, token)
+        else:
+            self._held[home] = False
+
+    def _grant(self, home: int, requester: int, token: int) -> None:
+        if requester == home:
+            fut = self.machine.scratch.pop(("lock.grant", token))
+            fut.set_result(None)
+        else:
+            self.machine.am.request_nb(
+                home, requester, _GRANT, args=(token,),
+                category=AMCategory.SHORT, kind="lock.grant",
+            )
+
+    # -- user API ------------------------------------------------------------ #
+
+    def acquire(self, ctx, team_rank: int) -> Generator[Any, Any, None]:
+        """Acquire the lock on ``team_rank`` (blocks; use ``yield from``)."""
+        home = self.team.world_rank(team_rank)
+        token = self.machine.next_token()
+        fut = Future(f"{self.name}.grant{token}")
+        self.machine.scratch[("lock.grant", token)] = fut
+        if home == ctx.rank:
+            self._acquire_at(home, ctx.rank, token)
+        else:
+            self.machine.am.request_nb(
+                ctx.rank, home, _ACQ, args=(self.name, token),
+                category=AMCategory.SHORT, kind="lock.acquire",
+            )
+        yield fut
+        self.machine.stats.incr("lock.acquired")
+
+    def release(self, ctx, team_rank: int) -> None:
+        """Release the lock on ``team_rank`` (fire-and-forget message)."""
+        home = self.team.world_rank(team_rank)
+        if home == ctx.rank:
+            self._release_at(home)
+        else:
+            self.machine.am.request_nb(
+                ctx.rank, home, _REL, args=(self.name,),
+                category=AMCategory.SHORT, kind="lock.release",
+            )
+
+    def is_held(self, team_rank: int) -> bool:
+        return self._held[self.team.world_rank(team_rank)]

@@ -1,0 +1,307 @@
+"""The relaxed memory model: pending-op tracking and reorder legality.
+
+CAF 2.0 uses a relaxed memory model (paper §III): asynchronous operations,
+coarray reads/writes and event notify/wait are unordered unless a
+synchronization construct orders them.  This module supplies:
+
+- :class:`PendingOp` — the record an asynchronous operation leaves behind
+  on its initiating activation until it completes, classified by whether
+  it *reads* and/or *writes* local memory (the classes ``cofence``
+  filters on);
+- :class:`Activation` — one dynamic scope of execution (an image's main
+  program, or one shipped-function execution).  ``cofence`` inside a
+  shipped function only sees operations launched by that function
+  (paper §III-B.3, "dynamic scoping"), which falls out of pending ops
+  living on the activation;
+- :class:`ReorderOracle` — a pure-logic encoding of the legality rules of
+  §III (which operations may hoist above / sink below a fence, an
+  event_notify (release) or an event_wait (acquire)).  The simulator
+  executes in program order, so the oracle is how we *test* the model:
+  property tests enumerate reorderings and check them against it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.sim.tasks import Future
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.image import ImageState
+
+
+# --------------------------------------------------------------------- #
+# Operation classes
+# --------------------------------------------------------------------- #
+
+#: operation reads local memory (e.g. an async copy out of a local buffer)
+READ = "read"
+#: operation writes local memory (e.g. an async copy into a local buffer)
+WRITE = "write"
+#: both classes — the wildcard argument value for cofence
+ANY = "any"
+
+_VALID_CLASSES = frozenset({READ, WRITE})
+
+
+def classes_of(reads_local: bool, writes_local: bool) -> frozenset:
+    out = set()
+    if reads_local:
+        out.add(READ)
+    if writes_local:
+        out.add(WRITE)
+    return frozenset(out)
+
+
+def allowed_set(arg: Optional[str]) -> frozenset:
+    """Map a cofence argument (None/READ/WRITE/ANY) to the set of classes
+    allowed to pass the fence in that direction."""
+    if arg is None:
+        return frozenset()
+    if arg == ANY:
+        return _VALID_CLASSES
+    if arg in _VALID_CLASSES:
+        return frozenset({arg})
+    raise ValueError(
+        f"invalid cofence class {arg!r}; expected READ, WRITE, ANY or None"
+    )
+
+
+def may_pass(op_classes: frozenset, allowed: frozenset) -> bool:
+    """An operation passes a fence direction only if *every* class of its
+    local effect is allowed (paper §III-B: an op that both reads and
+    writes is constrained by the stricter class)."""
+    return op_classes <= allowed
+
+
+# --------------------------------------------------------------------- #
+# Pending operations
+# --------------------------------------------------------------------- #
+
+class PendingOp:
+    """One in-flight asynchronous operation with implicit completion.
+
+    Completion futures correspond to the paper's Fig. 1 timeline:
+
+    - ``local_data``: inputs on the initiating image may be overwritten,
+      outputs may be read (what ``cofence`` waits on);
+    - ``local_op``: pairwise communication involving the initiator is
+      done (what an event attached to the op would signal);
+    - ``released``: the operation's remote effect is visible at its
+      destination — what an ``event_notify`` (release) must wait for
+      before signalling other images.
+    """
+
+    _ids = itertools.count()
+
+    __slots__ = ("op_id", "kind", "classes", "local_data", "local_op",
+                 "released", "started")
+
+    def __init__(self, kind: str, reads_local: bool, writes_local: bool,
+                 local_data: Future, local_op: Future,
+                 released: Optional[Future] = None):
+        self.op_id = next(PendingOp._ids)
+        self.kind = kind
+        self.classes = classes_of(reads_local, writes_local)
+        self.local_data = local_data
+        self.local_op = local_op
+        self.released = released if released is not None else local_op
+        #: False while the op is gated behind an unposted predicate event;
+        #: such an op is ordered by its own predicate, not by a release —
+        #: event_notify must not wait for it (that would deadlock a
+        #: notify that *is* the predicate).
+        self.started = True
+
+    def __repr__(self) -> str:
+        return (f"<PendingOp #{self.op_id} {self.kind} "
+                f"classes={sorted(self.classes)}>")
+
+
+class Activation:
+    """A dynamic scope: the unit `cofence` and finish-counting bind to.
+
+    Every image's main program is one activation; every shipped-function
+    execution gets a fresh one (carrying the finish frame of its spawner).
+    """
+
+    def __init__(self, image_state: "ImageState",
+                 finish_frame=None, name: str = "main"):
+        self.image_state = image_state
+        self.finish_frame = finish_frame
+        self.name = name
+        self._pending: list[PendingOp] = []
+
+    def current_frame(self):
+        """The finish frame this activation's implicit ops count toward:
+        a shipped function is pinned to its spawner's frame; the main
+        activation tracks the image's innermost open finish block."""
+        if self.finish_frame is not None:
+            return self.finish_frame
+        stack = self.image_state.finish_stack
+        return stack[-1] if stack else None
+
+    @property
+    def in_shipped_function(self) -> bool:
+        return self.finish_frame is not None
+
+    # -- registration ---------------------------------------------------- #
+
+    def register(self, op: PendingOp) -> PendingOp:
+        self._pending.append(op)
+        return op
+
+    def _prune(self) -> None:
+        self._pending = [
+            op for op in self._pending
+            if not (op.local_data.done and op.released.done)
+        ]
+
+    @property
+    def pending(self) -> list[PendingOp]:
+        self._prune()
+        return list(self._pending)
+
+    # -- what fences wait on ---------------------------------------------- #
+
+    def fence_waits(self, downward_allowed: frozenset) -> list[Future]:
+        """Local-data futures a cofence with this downward filter must
+        await: every pending implicit op whose class set is NOT allowed
+        to defer completion past the fence."""
+        self._prune()
+        return [
+            op.local_data for op in self._pending
+            if not op.local_data.done
+            and not may_pass(op.classes, downward_allowed)
+        ]
+
+    def release_waits(self) -> list[Future]:
+        """Futures an event_notify must await so that the notification
+        cannot overtake the remote effects of earlier implicit ops.
+        Predicate-gated ops that have not started are exempt (see
+        :attr:`PendingOp.started`)."""
+        self._prune()
+        return [op.released for op in self._pending
+                if op.started and not op.released.done]
+
+
+# --------------------------------------------------------------------- #
+# The reorder-legality oracle
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class OpItem:
+    """An asynchronous operation in an abstract program trace."""
+    name: str
+    reads_local: bool = False
+    writes_local: bool = False
+
+    @property
+    def classes(self) -> frozenset:
+        return classes_of(self.reads_local, self.writes_local)
+
+
+@dataclass(frozen=True)
+class FenceItem:
+    """A cofence with its two direction arguments."""
+    downward: Optional[str] = None
+    upward: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class NotifyItem:
+    """event_notify — release semantics (§III-B.4a)."""
+
+
+@dataclass(frozen=True)
+class WaitItem:
+    """event_wait — acquire semantics (§III-B.4b)."""
+
+
+class ReorderOracle:
+    """Pairwise legality of moving operations across synchronization items.
+
+    Two questions, matching the two halves of Fig. 1's discussion:
+
+    - may an operation *before* the item defer its completion until after
+      it (``may_sink``)?
+    - may an operation *after* the item be initiated before it
+      (``may_hoist``)?
+    """
+
+    @staticmethod
+    def may_sink(op: OpItem, item) -> bool:
+        if isinstance(item, FenceItem):
+            return may_pass(op.classes, allowed_set(item.downward))
+        if isinstance(item, NotifyItem):
+            # Release: nothing moves downward past a notify.
+            return False
+        if isinstance(item, WaitItem):
+            # Acquire: earlier operations may complete after the wait.
+            return True
+        raise TypeError(f"not a synchronization item: {item!r}")
+
+    @staticmethod
+    def may_hoist(op: OpItem, item) -> bool:
+        if isinstance(item, FenceItem):
+            return may_pass(op.classes, allowed_set(item.upward))
+        if isinstance(item, NotifyItem):
+            # Release is porous upward: later ops may start before it.
+            return True
+        if isinstance(item, WaitItem):
+            # Acquire: nothing after the wait may begin before it.
+            return False
+        raise TypeError(f"not a synchronization item: {item!r}")
+
+    @classmethod
+    def completion_must_precede(cls, program: list, op_index: int,
+                                item_index: int) -> bool:
+        """True if program[op_index] (an op, before item_index) must be
+        locally complete before the synchronization item fires."""
+        if not isinstance(program[op_index], OpItem):
+            raise TypeError("op_index must name an OpItem")
+        if op_index >= item_index:
+            raise ValueError("op must precede the item in program order")
+        return not cls.may_sink(program[op_index], program[item_index])
+
+    @classmethod
+    def initiation_must_follow(cls, program: list, item_index: int,
+                               op_index: int) -> bool:
+        """True if program[op_index] (an op, after item_index) must not be
+        initiated until the synchronization item completes."""
+        if not isinstance(program[op_index], OpItem):
+            raise TypeError("op_index must name an OpItem")
+        if op_index <= item_index:
+            raise ValueError("op must follow the item in program order")
+        return not cls.may_hoist(program[op_index], program[item_index])
+
+    @classmethod
+    def legal_initiation_orders(cls, program: list) -> Iterable[tuple]:
+        """Enumerate permutations of the program's OpItems that respect
+        every hoist/sink constraint (used by property tests on small
+        programs).  Yields tuples of op names."""
+        ops = [(i, it) for i, it in enumerate(program) if isinstance(it, OpItem)]
+        syncs = [(i, it) for i, it in enumerate(program)
+                 if not isinstance(it, OpItem)]
+        for perm in itertools.permutations(range(len(ops))):
+            ok = True
+            # position of op k in the permuted order
+            pos = {ops[k][0]: slot for slot, k in enumerate(perm)}
+            for (si, sitem) in syncs:
+                for (oi, oitem) in ops:
+                    if oi > si and not cls.may_hoist(oitem, sitem):
+                        # op must stay after every op that must stay before
+                        # the sync — approximate by requiring it not to be
+                        # placed before any non-hoistable older op.
+                        for (oj, ojtem) in ops:
+                            if oj < si and not cls.may_sink(ojtem, sitem):
+                                if pos[oi] < pos[oj]:
+                                    ok = False
+                                    break
+                    if not ok:
+                        break
+                if not ok:
+                    break
+            if ok:
+                yield tuple(ops[k][1].name for k in perm)

@@ -1,0 +1,335 @@
+"""Machine assembly and SPMD program launch.
+
+:class:`Machine` wires the whole stack together — simulator, network,
+active messages, GASNet layer, registries for teams / coarrays / events /
+locks, finish frames and collective states — and owns the services the
+core operation modules call into.
+
+:func:`run_spmd` is the main entry point::
+
+    def kernel(img):
+        yield from img.barrier()
+        return img.rank
+
+    machine, results = run_spmd(kernel, n_images=8)
+
+Every image runs ``kernel`` as its main activation; ``results[i]`` is the
+kernel's return value on image i, and ``machine`` exposes the simulated
+clock, statistics and busy-time accounting the benchmark harness reads.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngPool
+from repro.sim.tasks import Task
+from repro.sim.trace import IntervalAccumulator, Stats
+from repro.net.topology import MachineParams
+from repro.net.transport import Network
+from repro.net.flowcontrol import CreditManager
+from repro.net.active_messages import AMCategory, AMLayer
+from repro.net.gasnet import Gasnet
+from repro.runtime.coarray import Coarray
+from repro.runtime.event import EventRef, EventVar
+from repro.runtime.image import Image, ImageState
+from repro.runtime.lock import LockVar
+from repro.runtime.memory_model import Activation
+from repro.runtime.team import Team
+
+_EVENT_POST = "event.post"
+
+
+class DeadlockError(RuntimeError):
+    """The event queue drained while SPMD main programs were blocked."""
+
+
+class Machine:
+    """One simulated distributed machine running the CAF 2.0 runtime."""
+
+    def __init__(self, n_images: int, params: Optional[MachineParams] = None,
+                 seed: int = 0, tracer=None):
+        if params is None:
+            params = MachineParams.uniform(n_images)
+        if params.n_images != n_images:
+            raise ValueError(
+                f"params describe {params.n_images} images, asked for "
+                f"{n_images}"
+            )
+        self.n_images = n_images
+        self.params = params
+        self.seed = seed
+        self.sim = Simulator()
+        self.stats = Stats()
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.label_tracks(n_images)
+        # rng streams: one per image, plus one for network jitter
+        self.rng_pool = RngPool(seed, n_images + 1)
+        self.network = Network(self.sim, params, stats=self.stats,
+                               jitter_rng=self.rng_pool[n_images],
+                               tracer=tracer)
+        credits = None
+        if params.flow_credits is not None:
+            credits = CreditManager(
+                self.sim, params.flow_credits,
+                stall_penalty=params.flow_stall_penalty,
+                scope=params.flow_credit_scope,
+                stats=self.stats,
+            )
+        self.credits = credits
+        self.am = AMLayer(self.network, credit_manager=credits)
+        self.gasnet = Gasnet(self.am)
+        self.busy = IntervalAccumulator(n_images)
+
+        self.team_world = Team(range(n_images))
+        self._teams: dict[int, Team] = {self.team_world.id: self.team_world}
+        self._teams_by_members: dict[tuple, Team] = {
+            tuple(self.team_world.members): self.team_world
+        }
+        self._image_states = [ImageState(self, r) for r in range(n_images)]
+        self._coarrays: dict[str, Coarray] = {}
+        self._events: dict[str, EventVar] = {}
+        self._locks: dict[str, LockVar] = {}
+        self._frames: dict[tuple, Any] = {}
+        self._coll_states: dict[tuple, Any] = {}
+        #: open dictionary for cross-module transient state (copy tokens,
+        #: detector scratch, lock grants, ...)
+        self.scratch: dict = {}
+        self._tokens = itertools.count(1)
+        self._main_tasks: list[Task] = []
+
+        self.am.ensure_registered(_EVENT_POST, self._handle_event_post)
+
+    # ------------------------------------------------------------------ #
+    # Registries
+    # ------------------------------------------------------------------ #
+
+    def image_state(self, world_rank: int) -> ImageState:
+        return self._image_states[world_rank]
+
+    def team_by_id(self, team_id: int) -> Team:
+        try:
+            return self._teams[team_id]
+        except KeyError:
+            raise KeyError(f"unknown team id {team_id}") from None
+
+    def intern_team(self, members: Sequence[int],
+                    parent: Optional[Team] = None) -> Team:
+        """One shared Team object per member set (team_split uses this so
+        every member holds the same instance and id)."""
+        key = tuple(members)
+        team = self._teams_by_members.get(key)
+        if team is None:
+            team = Team(members, parent=parent)
+            self._teams_by_members[key] = team
+            self._teams[team.id] = team
+        return team
+
+    def coarray(self, name: str, shape: Any, dtype: Any = np.float64,
+                team: Optional[Team] = None, fill: Any = 0) -> Coarray:
+        """Allocate a coarray over ``team`` (default: the world team)."""
+        if name in self._coarrays:
+            raise ValueError(f"coarray {name!r} already allocated")
+        team = team if team is not None else self.team_world
+        arr = Coarray(name, team, self.n_images, shape, dtype=dtype,
+                      fill=fill)
+        self.gasnet.register_segment(arr.segment)
+        self._coarrays[name] = arr
+        return arr
+
+    def coarray_by_name(self, name: str) -> Coarray:
+        try:
+            return self._coarrays[name]
+        except KeyError:
+            raise KeyError(f"no coarray named {name!r}") from None
+
+    def make_event(self, team: Optional[Team] = None,
+                   name: Optional[str] = None) -> EventVar:
+        """Create an event variable over ``team`` (default world)."""
+        team = team if team is not None else self.team_world
+        ev = EventVar(self, team, name=name)
+        if ev.name in self._events:
+            raise ValueError(f"event {ev.name!r} already exists")
+        self._events[ev.name] = ev
+        return ev
+
+    def event_by_name(self, name: str) -> EventVar:
+        return self._events[name]
+
+    def make_lock(self, team: Optional[Team] = None,
+                  name: Optional[str] = None) -> LockVar:
+        """Create a lock variable over ``team`` (default world)."""
+        team = team if team is not None else self.team_world
+        lock = LockVar(self, team, name=name)
+        if lock.name in self._locks and self._locks[lock.name] is not lock:
+            raise ValueError(f"lock {lock.name!r} already exists")
+        self._locks[lock.name] = lock
+        return lock
+
+    def lock_by_name(self, name: str) -> LockVar:
+        return self._locks[name]
+
+    def next_token(self) -> int:
+        return next(self._tokens)
+
+    # ------------------------------------------------------------------ #
+    # Services for the core operation modules
+    # ------------------------------------------------------------------ #
+
+    def get_or_create_frame(self, world_rank: int, key: tuple):
+        """Finish frame for (image, key); lazily created because shipped
+        functions can land before the image enters its own block."""
+        from repro.core.finish import FinishFrame
+
+        full_key = (world_rank, key)
+        frame = self._frames.get(full_key)
+        if frame is None:
+            team_id, seq = key
+            frame = FinishFrame(self, world_rank, self.team_by_id(team_id),
+                                seq)
+            self._frames[full_key] = frame
+        return frame
+
+    def next_coll_seq(self, world_rank: int, team_id: int) -> int:
+        return self._image_states[world_rank].next_coll_seq(team_id)
+
+    def coll_state(self, world_rank: int, team_id: int, seq: int,
+                   factory: Callable[[], Any]) -> Any:
+        key = (world_rank, team_id, seq)
+        state = self._coll_states.get(key)
+        if state is None:
+            state = factory()
+            self._coll_states[key] = state
+        return state
+
+    def drop_coll_state(self, world_rank: int, team_id: int, seq: int) -> None:
+        self._coll_states.pop((world_rank, team_id, seq), None)
+
+    def post_event(self, ref: EventRef, from_rank: int,
+                   count: int = 1) -> None:
+        """Post an event counter, sending a notify AM when the counter
+        lives on a different image than the poster."""
+        if ref.world_rank == from_rank:
+            ref.event.post(ref.world_rank, count)
+        else:
+            self.am.request_nb(
+                from_rank, ref.world_rank, _EVENT_POST,
+                args=(ref.event.name, count),
+                category=AMCategory.SHORT, kind="event.post",
+            )
+
+    def _handle_event_post(self, ctx, event_name: str, count: int) -> None:
+        self._events[event_name].post(ctx.image, count)
+
+    def when_event(self, ref: EventRef, initiator: int,
+                   action: Callable[[], None]) -> None:
+        """Run ``action`` (at the initiator) once ``ref`` has been posted,
+        consuming one post — the predicated-copy mechanism.  When the
+        event lives remotely, a waiter task runs at its home image and a
+        control message triggers the action back at the initiator."""
+        home = ref.world_rank
+
+        def wait_and_fire():
+            yield from ref.event.consume_when_ready(home, 1)
+            if home == initiator:
+                action()
+            else:
+                token = self.next_token()
+                self.scratch[("when_event", token)] = action
+                self.am.request_nb(
+                    home, initiator, "event.fire", args=(token,),
+                    category=AMCategory.SHORT, kind="event.fire",
+                )
+
+        self.am.ensure_registered("event.fire", self._handle_event_fire)
+        self.start_internal_task(wait_and_fire(), name=f"when_event@{home}")
+
+    def _handle_event_fire(self, ctx, token: int) -> None:
+        self.scratch.pop(("when_event", token))()
+
+    def make_image(self, world_rank: int, activation: Activation) -> Image:
+        return Image(self, world_rank, activation)
+
+    def start_internal_task(self, gen, name: str = "internal") -> Task:
+        """Run a runtime-internal generator as a simulation task."""
+        return Task(self.sim, gen, name=name)
+
+    def summary(self) -> dict:
+        """A run report: simulated time, traffic, busy-time balance and
+        the headline construct counters (what the harness prints)."""
+        busy = self.busy.busy
+        mean_busy = float(busy.mean()) if self.n_images else 0.0
+        return {
+            "images": self.n_images,
+            "sim_time": self.sim.now,
+            "events_processed": self.sim.events_processed,
+            "messages": self.stats["net.msgs"],
+            "bytes": self.stats["net.bytes"],
+            "spawns": self.stats["spawn.executed"],
+            "copies": self.stats["copy.initiated"],
+            "cofences": self.stats["cofence.calls"],
+            "finish_blocks": self.stats["finish.completed"],
+            "finish_waves": self.stats["finish.rounds_total"],
+            "busy_total": float(busy.sum()),
+            "busy_imbalance": (float(busy.max() / mean_busy)
+                               if mean_busy > 0 else 1.0),
+        }
+
+    # ------------------------------------------------------------------ #
+    # SPMD launch
+    # ------------------------------------------------------------------ #
+
+    def launch(self, kernel: Callable, args: tuple = ()) -> list[Task]:
+        """Start ``kernel(img, *args)`` as the main program of every
+        image.  Call :meth:`run` afterwards."""
+        tasks = []
+        for rank in range(self.n_images):
+            activation = Activation(self._image_states[rank], name="main")
+            img = Image(self, rank, activation)
+            tasks.append(Task(self.sim, kernel(img, *args),
+                              name=f"main@{rank}"))
+        self._main_tasks.extend(tasks)
+        return tasks
+
+    def run(self, max_events: Optional[int] = None) -> list[Any]:
+        """Run the simulation to completion and return the main-program
+        results in rank order.  Raises :class:`DeadlockError` with the
+        blocked ranks if the machine wedges."""
+        self.sim.run(max_events=max_events)
+        blocked = [t.name for t in self._main_tasks if not t.done_future.done]
+        if blocked:
+            # A failed image often wedges its peers (they wait for its
+            # collectives); surface the root cause, not the symptom.
+            for t in self._main_tasks:
+                if t.done_future.done and t.done_future.exception():
+                    raise t.done_future.exception()
+            raise DeadlockError(
+                f"simulation drained with blocked main programs: {blocked} "
+                f"(t={self.sim.now:.6f}s)"
+            )
+        return [t.done_future.result() for t in self._main_tasks]
+
+
+def run_spmd(kernel: Callable, n_images: int,
+             params: Optional[MachineParams] = None, seed: int = 0,
+             args: tuple = (), max_events: Optional[int] = None,
+             setup: Optional[Callable[[Machine], None]] = None
+             ) -> tuple[Machine, list[Any]]:
+    """Build a machine, run ``kernel`` SPMD on every image, return
+    ``(machine, per-rank results)``.
+
+    ``setup(machine)`` runs before launch — the place to allocate
+    coarrays, events and locks (allocation is a team-creation-time
+    activity in CAF 2.0).
+    """
+    machine = Machine(n_images, params=params, seed=seed)
+    if setup is not None:
+        setup(machine)
+    machine.launch(kernel, args=args)
+    results = machine.run(max_events=max_events)
+    return machine, results

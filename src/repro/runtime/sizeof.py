@@ -1,0 +1,45 @@
+"""Simulated wire footprint of Python values.
+
+The simulator charges network time per byte; this module decides how many
+bytes a payload "weighs".  Numpy data uses its true buffer size; scalars
+weigh one word; containers add a small per-element header, approximating a
+compact binary encoding (not pickle, whose overhead would distort the
+model).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+#: bytes charged per scalar (one 64-bit word)
+WORD = 8
+#: per-container overhead, bytes
+CONTAINER_OVERHEAD = 16
+
+
+def sizeof(value: Any) -> int:
+    """Simulated size of ``value`` in bytes."""
+    if value is None:
+        return 0
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, np.generic):
+        return int(value.nbytes)
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float, complex)):
+        return WORD
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return CONTAINER_OVERHEAD + sum(sizeof(v) for v in value)
+    if isinstance(value, dict):
+        return CONTAINER_OVERHEAD + sum(
+            sizeof(k) + sizeof(v) for k, v in value.items()
+        )
+    # Opaque objects (e.g. by-reference handles) travel as one descriptor.
+    return WORD

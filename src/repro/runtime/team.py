@@ -1,0 +1,115 @@
+"""Teams: first-class process subsets (paper §II-A).
+
+A team serves three purposes in CAF 2.0: it is the allocation domain for
+coarrays, a namespace of relative ranks, and an isolated domain for
+collective communication.  All images start in ``team_world``; new teams
+are created collectively with ``team_split`` (implemented in
+:mod:`repro.core.collectives` since it is itself a collective operation).
+
+This module holds the pure membership structure plus the tree-shape
+helpers that every collective uses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+
+class Team:
+    """An ordered set of world ranks.
+
+    ``members[i]`` is the world rank of team rank ``i``.  Team ids are
+    globally unique and identical on every member (they are assigned
+    deterministically by the collective that creates the team), which is
+    what lets finish frames and collective rendezvous match across images.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, members: Sequence[int], team_id: int | None = None,
+                 parent: "Team | None" = None):
+        members = list(members)
+        if not members:
+            raise ValueError("a team must have at least one member")
+        if len(set(members)) != len(members):
+            raise ValueError(f"duplicate members in team: {members}")
+        self.id = next(Team._ids) if team_id is None else team_id
+        self.members = members
+        self.parent = parent
+        self._rank_of = {w: i for i, w in enumerate(members)}
+
+    # -- membership ----------------------------------------------------- #
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.members)
+
+    def __contains__(self, world_rank: int) -> bool:
+        return world_rank in self._rank_of
+
+    def rank_of(self, world_rank: int) -> int:
+        """Team rank of a world rank."""
+        try:
+            return self._rank_of[world_rank]
+        except KeyError:
+            raise ValueError(
+                f"world rank {world_rank} is not a member of team {self.id}"
+            ) from None
+
+    def world_rank(self, team_rank: int) -> int:
+        """World rank of a team rank."""
+        if not 0 <= team_rank < len(self.members):
+            raise ValueError(
+                f"team rank {team_rank} out of range for team of size "
+                f"{len(self.members)}"
+            )
+        return self.members[team_rank]
+
+    def is_subset_of(self, other: "Team") -> bool:
+        """True when every member of self is a member of ``other``
+        (the containment rule for collectives under finish, §III-A.1)."""
+        return all(w in other for w in self.members)
+
+    # -- tree shape for collectives ------------------------------------- #
+
+    def tree_parent(self, team_rank: int, root: int = 0, radix: int = 2) -> int | None:
+        """Parent of ``team_rank`` in a ``radix``-ary tree rooted at
+        ``root`` (ranks rotated so the root maps to position 0).
+        Returns None for the root."""
+        pos = (team_rank - root) % self.size
+        if pos == 0:
+            return None
+        parent_pos = (pos - 1) // radix
+        return (parent_pos + root) % self.size
+
+    def tree_children(self, team_rank: int, root: int = 0, radix: int = 2) -> list[int]:
+        """Children of ``team_rank`` in the same tree."""
+        pos = (team_rank - root) % self.size
+        out = []
+        for i in range(radix):
+            child_pos = radix * pos + 1 + i
+            if child_pos < self.size:
+                out.append((child_pos + root) % self.size)
+        return out
+
+    def hypercube_neighbors(self, team_rank: int) -> list[int]:
+        """Team ranks at XOR offsets 2^0, 2^1, ... (UTS lifelines,
+        paper §IV-C: lifelines are set on hypercube neighbors)."""
+        out = []
+        bit = 1
+        while bit < self.size:
+            neighbor = team_rank ^ bit
+            if neighbor < self.size:
+                out.append(neighbor)
+            bit <<= 1
+        return out
+
+    def __repr__(self) -> str:
+        return f"<Team {self.id} size={self.size}>"

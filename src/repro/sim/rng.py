@@ -1,0 +1,41 @@
+"""Reproducible random streams for simulated process images.
+
+Every image gets an independent :class:`numpy.random.Generator` derived from
+one master seed via ``SeedSequence.spawn``, so results are independent of
+event interleaving and identical across runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RngPool:
+    """A pool of independent, reproducible random generators.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Two pools with the same seed produce identical
+        streams for every index.
+    n_streams:
+        Number of streams to pre-spawn; indexing past this raises.
+    """
+
+    def __init__(self, seed: int, n_streams: int):
+        if n_streams <= 0:
+            raise ValueError("n_streams must be positive")
+        self.seed = seed
+        self.n_streams = n_streams
+        children = np.random.SeedSequence(seed).spawn(n_streams)
+        self._rngs = [np.random.default_rng(c) for c in children]
+
+    def __len__(self) -> int:
+        return self.n_streams
+
+    def __getitem__(self, index: int) -> np.random.Generator:
+        if not 0 <= index < self.n_streams:
+            raise IndexError(
+                f"rng stream {index} out of range [0, {self.n_streams})"
+            )
+        return self._rngs[index]

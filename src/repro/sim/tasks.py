@@ -1,0 +1,344 @@
+"""Cooperative tasks over the discrete-event engine.
+
+A *task* is a Python generator that models one thread of execution on a
+simulated machine.  The generator yields *directives* to the scheduler:
+
+``yield Delay(dt)``
+    advance this task's virtual time by ``dt`` seconds (models computation);
+
+``yield future``
+    block until the :class:`Future` resolves; the resolved value becomes the
+    value of the ``yield`` expression (an exception set on the future is
+    re-raised inside the task).
+
+Composite waits are built with :func:`all_of` / :func:`any_of`.  Subroutines
+compose with plain ``yield from``, so runtime code reads like straight-line
+blocking code:
+
+    def kernel(img):
+        yield Delay(1e-6)                    # compute
+        value = yield from img.event_wait(ev)  # block on a runtime call
+
+Nothing here knows about networks or CAF semantics; higher layers build on
+these primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.sim.engine import Simulator, SimulationError
+
+
+class TaskFailed(RuntimeError):
+    """An exception escaped a task's generator."""
+
+
+class Delay:
+    """Directive: advance the yielding task's clock by ``dt`` seconds."""
+
+    __slots__ = ("dt",)
+
+    def __init__(self, dt: float):
+        if dt < 0:
+            raise SimulationError(f"negative Delay {dt!r}")
+        self.dt = dt
+
+    def __repr__(self) -> str:
+        return f"Delay({self.dt!r})"
+
+
+class Future:
+    """A single-assignment result that tasks can block on.
+
+    Futures carry either a value or an exception.  Callbacks added after
+    resolution fire immediately (synchronously), which keeps completion
+    chains at one timestamp from being artificially spread over events.
+    """
+
+    __slots__ = ("_done", "_value", "_exc", "_callbacks", "name")
+
+    def __init__(self, name: str = ""):
+        self._done = False
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._callbacks: list[Callable[["Future"], None]] = []
+        self.name = name
+
+    # -- state --------------------------------------------------------- #
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> Any:
+        if not self._done:
+            raise SimulationError(f"Future {self.name!r} not resolved")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def exception(self) -> Optional[BaseException]:
+        if not self._done:
+            raise SimulationError(f"Future {self.name!r} not resolved")
+        return self._exc
+
+    # -- resolution ---------------------------------------------------- #
+
+    def set_result(self, value: Any = None) -> None:
+        if self._done:
+            raise SimulationError(f"Future {self.name!r} resolved twice")
+        self._done = True
+        self._value = value
+        self._fire()
+
+    def set_exception(self, exc: BaseException) -> None:
+        if self._done:
+            raise SimulationError(f"Future {self.name!r} resolved twice")
+        self._done = True
+        self._exc = exc
+        self._fire()
+
+    def add_done_callback(self, cb: Callable[["Future"], None]) -> None:
+        if self._done:
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+    def _fire(self) -> None:
+        cbs, self._callbacks = self._callbacks, []
+        for cb in cbs:
+            cb(self)
+
+    def __repr__(self) -> str:
+        state = "done" if self._done else "pending"
+        return f"<Future {self.name!r} {state}>"
+
+
+def all_of(futures: Iterable[Future], name: str = "all_of") -> Future:
+    """A future that resolves (to a list of values, in input order) once
+    every input future has resolved.  The first exception wins."""
+    futures = list(futures)
+    out = Future(name)
+    if not futures:
+        out.set_result([])
+        return out
+    remaining = [len(futures)]
+
+    def on_done(_f: Future) -> None:
+        if out.done:
+            return
+        exc = _f.exception()
+        if exc is not None:
+            out.set_exception(exc)
+            return
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            out.set_result([f.result() for f in futures])
+
+    for f in futures:
+        f.add_done_callback(on_done)
+    return out
+
+
+def any_of(futures: Iterable[Future], name: str = "any_of") -> Future:
+    """A future that resolves to ``(index, value)`` of the first input
+    future to resolve."""
+    futures = list(futures)
+    if not futures:
+        raise SimulationError("any_of of no futures")
+    out = Future(name)
+
+    def make_cb(i: int) -> Callable[[Future], None]:
+        def on_done(_f: Future) -> None:
+            if out.done:
+                return
+            exc = _f.exception()
+            if exc is not None:
+                out.set_exception(exc)
+            else:
+                out.set_result((i, _f.result()))
+
+        return on_done
+
+    for i, f in enumerate(futures):
+        f.add_done_callback(make_cb(i))
+    return out
+
+
+class Task:
+    """A generator driven by the simulator.
+
+    The task's completion is observable through :attr:`done_future`, which
+    resolves to the generator's return value (or the escaping exception,
+    wrapped in :class:`TaskFailed`).
+    """
+
+    _ids = 0
+
+    def __init__(self, sim: Simulator, gen: Generator, name: str = ""):
+        if not hasattr(gen, "send"):
+            raise TypeError(
+                f"Task expects a generator; got {type(gen).__name__}. "
+                "Did you call the kernel instead of passing its generator?"
+            )
+        Task._ids += 1
+        self.tid = Task._ids
+        self.sim = sim
+        self.gen = gen
+        self.name = name or f"task-{self.tid}"
+        self.done_future = Future(f"{self.name}.done")
+        sim.call_soon(self._step, None, None)
+
+    # -- scheduling internals ------------------------------------------ #
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        try:
+            if exc is not None:
+                directive = self.gen.throw(exc)
+            else:
+                directive = self.gen.send(value)
+        except StopIteration as stop:
+            self.done_future.set_result(stop.value)
+            return
+        except BaseException as e:  # noqa: BLE001 - surfaced via future
+            wrapped = TaskFailed(f"task {self.name!r} failed: {e!r}")
+            wrapped.__cause__ = e
+            self.done_future.set_exception(wrapped)
+            return
+        self._dispatch(directive)
+
+    def _dispatch(self, directive: Any) -> None:
+        if isinstance(directive, Delay):
+            self.sim.schedule(directive.dt, self._step, None, None)
+        elif isinstance(directive, Future):
+            directive.add_done_callback(self._on_future)
+        else:
+            err = SimulationError(
+                f"task {self.name!r} yielded {directive!r}; expected "
+                "Delay or Future (did you forget `yield from`?)"
+            )
+            self.sim.call_soon(self._step, None, err)
+
+    def _on_future(self, fut: Future) -> None:
+        exc = fut.exception()
+        if exc is not None:
+            self.sim.call_soon(self._step, None, exc)
+        else:
+            self.sim.call_soon(self._step, fut.result(), None)
+
+    def __repr__(self) -> str:
+        return f"<Task {self.name} {'done' if self.done_future.done else 'live'}>"
+
+
+class Channel:
+    """An unbounded FIFO queue with blocking receive.
+
+    ``put`` is immediate; ``get()`` is a generator to be used with
+    ``yield from`` and blocks until an item is available.  Multiple
+    blocked receivers are served in FIFO order.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "channel"):
+        self.sim = sim
+        self.name = name
+        self._items: list[Any] = []
+        self._waiters: list[Future] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._waiters:
+            self._waiters.pop(0).set_result(item)
+        else:
+            self._items.append(item)
+
+    def try_get(self) -> tuple[bool, Any]:
+        if self._items:
+            return True, self._items.pop(0)
+        return False, None
+
+    def get(self) -> Generator[Any, Any, Any]:
+        if self._items:
+            return self._items.pop(0)
+        fut = Future(f"{self.name}.get")
+        self._waiters.append(fut)
+        item = yield fut
+        return item
+
+
+class Semaphore:
+    """A counting semaphore; used for flow-control credits.
+
+    ``acquire`` blocks (``yield from``) when the count is zero; ``release``
+    wakes the longest-waiting acquirer.
+    """
+
+    def __init__(self, sim: Simulator, count: int, name: str = "sem"):
+        if count < 0:
+            raise SimulationError("semaphore count must be >= 0")
+        self.sim = sim
+        self.name = name
+        self._count = count
+        self._waiters: list[Future] = []
+
+    @property
+    def available(self) -> int:
+        return self._count
+
+    def try_acquire(self) -> bool:
+        if self._count > 0:
+            self._count -= 1
+            return True
+        return False
+
+    def acquire(self) -> Generator[Any, Any, None]:
+        if self._count > 0:
+            self._count -= 1
+            return
+        fut = Future(f"{self.name}.acquire")
+        self._waiters.append(fut)
+        yield fut
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.pop(0).set_result(None)
+        else:
+            self._count += 1
+
+
+class Condition:
+    """Predicate-based waiting: tasks block until a user predicate becomes
+    true; any state change that might flip a predicate calls :meth:`wake`.
+
+    This models the paper's ``wait until (e.sent == e.delivered && ...)``
+    (Fig. 7, line 4) directly.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "cond"):
+        self.sim = sim
+        self.name = name
+        self._waiters: list[tuple[Callable[[], bool], Future]] = []
+
+    def wait_until(self, predicate: Callable[[], bool]) -> Generator[Any, Any, None]:
+        if predicate():
+            return
+        fut = Future(f"{self.name}.wait")
+        self._waiters.append((predicate, fut))
+        yield fut
+
+    def wake(self) -> None:
+        """Re-check all waiting predicates; resolve those now true."""
+        if not self._waiters:
+            return
+        still: list[tuple[Callable[[], bool], Future]] = []
+        ready: list[Future] = []
+        for pred, fut in self._waiters:
+            if pred():
+                ready.append(fut)
+            else:
+                still.append((pred, fut))
+        self._waiters = still
+        for fut in ready:
+            fut.set_result(None)

@@ -1,0 +1,125 @@
+"""Measurement probes for simulation runs.
+
+The benchmark harness never reaches into runtime internals; everything it
+reports flows through these probes:
+
+- :class:`Stats` — named monotonic counters (messages sent, allreduce
+  rounds, steals attempted, ...);
+- :class:`Probe` — a time-series of ``(t, value)`` samples;
+- :class:`IntervalAccumulator` — total busy time per image, from which the
+  harness computes load balance and parallel efficiency.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+import numpy as np
+
+
+class Stats:
+    """Named monotonic counters with hierarchical keys.
+
+    >>> s = Stats()
+    >>> s.incr("net.msgs")
+    >>> s.incr("net.msgs", 2)
+    >>> s["net.msgs"]
+    3
+    """
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = defaultdict(int)
+
+    def incr(self, key: str, amount: int = 1) -> None:
+        self._counts[key] += amount
+
+    def __getitem__(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counts
+
+    def keys(self) -> Iterator[str]:
+        return iter(sorted(self._counts))
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def with_prefix(self, prefix: str) -> dict[str, int]:
+        """All counters whose key starts with ``prefix``."""
+        return {k: v for k, v in self._counts.items() if k.startswith(prefix)}
+
+
+class Probe:
+    """A time-series probe: record ``(t, value)`` samples and summarize."""
+
+    def __init__(self, name: str = "probe"):
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def record(self, t: float, value: float) -> None:
+        self._times.append(t)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values)
+
+    def summary(self) -> dict[str, float]:
+        if not self._values:
+            return {"count": 0}
+        v = self.values
+        return {
+            "count": float(len(v)),
+            "min": float(v.min()),
+            "max": float(v.max()),
+            "mean": float(v.mean()),
+            "sum": float(v.sum()),
+        }
+
+
+class IntervalAccumulator:
+    """Accumulates busy-time per stream (e.g. per image).
+
+    Images report work intervals as they execute; the harness then derives
+    per-image work fractions (paper Fig. 16) and parallel efficiency
+    (paper Fig. 17) from the totals.
+    """
+
+    def __init__(self, n_streams: int):
+        if n_streams <= 0:
+            raise ValueError("n_streams must be positive")
+        self.n_streams = n_streams
+        self._busy = np.zeros(n_streams, dtype=np.float64)
+
+    def add(self, stream: int, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"negative duration {duration!r}")
+        self._busy[stream] += duration
+
+    @property
+    def busy(self) -> np.ndarray:
+        """Per-stream total busy time (a copy)."""
+        return self._busy.copy()
+
+    def total(self) -> float:
+        return float(self._busy.sum())
+
+    def relative_fractions(self) -> np.ndarray:
+        """Per-stream work relative to the mean (1.0 == perfectly even).
+
+        This is exactly the y-axis of the paper's Fig. 16.
+        """
+        mean = self._busy.mean()
+        if mean == 0:
+            return np.ones_like(self._busy)
+        return self._busy / mean

@@ -1,0 +1,156 @@
+"""Tests for HPCC RandomAccess."""
+
+import numpy as np
+import pytest
+
+from repro.apps.randomaccess import (
+    RAConfig,
+    hpcc_starts,
+    hpcc_stream,
+    run_randomaccess,
+    _owner_and_index,
+)
+
+
+class TestStream:
+    def test_starts_zero_is_one(self):
+        assert hpcc_starts(0) == 1
+
+    def test_starts_matches_sequential_iteration(self):
+        # jump-ahead must agree with stepping the LFSR directly
+        seq = hpcc_stream(1, 64)
+        for n in (1, 2, 5, 17, 63):
+            assert hpcc_starts(n) == int(seq[n - 1])
+
+    def test_stream_values_are_64bit(self):
+        s = hpcc_stream(hpcc_starts(100), 100)
+        assert s.dtype == np.uint64
+        assert int(s.max()) <= (1 << 64) - 1
+
+    def test_stream_deterministic(self):
+        assert hpcc_stream(1, 32).tolist() == hpcc_stream(1, 32).tolist()
+
+    def test_disjoint_segments_chain(self):
+        whole = hpcc_stream(1, 100)
+        second_half = hpcc_stream(hpcc_starts(50), 50)
+        assert whole[50:].tolist() == second_half.tolist()
+
+
+class TestIndexing:
+    def test_owner_and_index_cover_table(self):
+        ran = hpcc_stream(1, 1000)
+        owner, local = _owner_and_index(ran, n_images=4, local_size=256)
+        assert owner.min() >= 0 and owner.max() < 4
+        assert local.min() >= 0 and local.max() < 256
+
+    def test_global_index_decomposition(self):
+        ran = np.array([0x12345678ABCDEF01], dtype=np.uint64)
+        owner, local = _owner_and_index(ran, n_images=2, local_size=8)
+        g = int(ran[0]) & 15
+        assert owner[0] == g // 8
+        assert local[0] == g % 8
+
+
+class TestConfig:
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError, match="variant"):
+            RAConfig(variant="magic")
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            RAConfig(log2_local_table=0)
+        with pytest.raises(ValueError):
+            RAConfig(bunch_size=0)
+
+    def test_non_power_of_two_images_rejected(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            run_randomaccess(3, RAConfig(updates_per_image=4))
+
+
+class TestRuns:
+    def test_function_shipping_checksum_exact(self):
+        """FS updates are atomic: the final table xor equals the initial
+        xor xored with every update value."""
+        cfg = RAConfig(variant="function-shipping", updates_per_image=64,
+                       log2_local_table=8, bunch_size=16)
+        n = 4
+        local = 2 ** cfg.log2_local_table
+        expected = 0
+        for i in range(n * local):
+            expected ^= i
+        for r in range(n):
+            stream = hpcc_stream(
+                hpcc_starts(cfg.stream_offset + cfg.updates_per_image * r),
+                cfg.updates_per_image)
+            for v in stream:
+                expected ^= int(v)
+        result = run_randomaccess(n, cfg)
+        assert result.checksum == expected
+        assert result.total_updates == n * cfg.updates_per_image
+
+    def test_get_update_put_runs(self):
+        cfg = RAConfig(variant="get-update-put", updates_per_image=32,
+                       log2_local_table=8, window=4)
+        result = run_randomaccess(4, cfg)
+        assert result.sim_time > 0
+        assert result.total_updates == 128
+        assert result.finish_blocks == 0
+
+    def test_finish_block_count(self):
+        cfg = RAConfig(variant="function-shipping", updates_per_image=64,
+                       bunch_size=16)
+        result = run_randomaccess(2, cfg)
+        # 64/16 = 4 blocks per image, 2 images
+        assert result.finish_blocks == 8
+
+    def test_more_finish_blocks_cost_more_time(self):
+        """Fig. 14's left side: tiny bunches drown in synchronization."""
+        base = dict(variant="function-shipping", updates_per_image=64,
+                    log2_local_table=8)
+        tiny = run_randomaccess(4, RAConfig(bunch_size=4, **base))
+        big = run_randomaccess(4, RAConfig(bunch_size=64, **base))
+        assert tiny.sim_time > big.sim_time
+
+    def test_gups_positive(self):
+        result = run_randomaccess(2, RAConfig(updates_per_image=32))
+        assert result.gups > 0
+
+    def test_verification_fs_is_error_free(self):
+        """HPCC verification: the atomic function-shipping variant must
+        reproduce the sequential oracle exactly."""
+        cfg = RAConfig(variant="function-shipping", updates_per_image=128,
+                       log2_local_table=8, bunch_size=32)
+        result = run_randomaccess(4, cfg, verify=True)
+        assert result.errors == 0
+        assert result.error_rate == 0.0
+
+    def test_verification_skipped_by_default(self):
+        result = run_randomaccess(2, RAConfig(updates_per_image=16))
+        assert result.errors is None
+        assert result.error_rate is None
+
+    def test_get_update_put_races_are_real_under_contention(self):
+        """§IV-B: 'the reference version has data races.'  Forcing
+        contention (a tiny 64-word table under 1024 updates) makes the
+        read-modify-write window demonstrably lose updates."""
+        cfg = RAConfig(variant="get-update-put", updates_per_image=256,
+                       log2_local_table=6, window=16)
+        result = run_randomaccess(4, cfg, verify=True)
+        assert result.error_rate is not None
+        assert result.error_rate > 0.01
+
+    def test_get_update_put_race_free_at_low_contention(self):
+        """At realistic table-to-update ratios concurrent updates rarely
+        collide — HPCC's <1%-errors acceptance criterion holds."""
+        cfg = RAConfig(variant="get-update-put", updates_per_image=64,
+                       log2_local_table=10, window=8)
+        result = run_randomaccess(4, cfg, verify=True)
+        assert result.error_rate < 0.01
+
+    def test_function_shipping_atomic_even_under_contention(self):
+        """The FS variant's RMW runs where the data lives: error-free
+        even on the contended configuration that breaks get-update-put."""
+        cfg = RAConfig(variant="function-shipping", updates_per_image=256,
+                       log2_local_table=6, bunch_size=64)
+        result = run_randomaccess(4, cfg, verify=True)
+        assert result.errors == 0

@@ -1,0 +1,53 @@
+"""Tests for the Fig. 2 vs Fig. 3 steal-protocol comparison."""
+
+import pytest
+
+from repro.apps.work_stealing import WSConfig, run_work_stealing
+
+
+class TestConfig:
+    def test_invalid_protocol(self):
+        with pytest.raises(ValueError, match="protocol"):
+            WSConfig(protocol="quantum")
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            WSConfig(initial_tasks=0)
+
+
+class TestProtocols:
+    def test_both_protocols_steal_everything_available(self):
+        cfg_kwargs = dict(initial_tasks=64, steal_chunk=4,
+                          steals_per_thief=8)
+        for protocol in ("shipped", "get-put"):
+            result = run_work_stealing(
+                3, WSConfig(protocol=protocol, **cfg_kwargs))
+            # 2 thieves x 8 attempts x 4 items = 64 = everything
+            assert result.tasks_stolen == 64
+            assert result.steal_attempts == 16
+
+    def test_shipped_uses_fewer_messages(self):
+        """Fig. 3 reduces a steal from 5 round trips to 2 one-way
+        spawns: the message count collapses."""
+        cfg = dict(initial_tasks=128, steal_chunk=4, steals_per_thief=4)
+        shipped = run_work_stealing(4, WSConfig(protocol="shipped", **cfg))
+        getput = run_work_stealing(4, WSConfig(protocol="get-put", **cfg))
+        assert shipped.messages < getput.messages
+
+    def test_shipped_steals_are_faster(self):
+        cfg = dict(initial_tasks=128, steal_chunk=4, steals_per_thief=4)
+        shipped = run_work_stealing(4, WSConfig(protocol="shipped", **cfg))
+        getput = run_work_stealing(4, WSConfig(protocol="get-put", **cfg))
+        assert shipped.mean_steal_latency < getput.mean_steal_latency
+
+    def test_no_oversteal(self):
+        """Thieves can never steal more tasks than exist."""
+        result = run_work_stealing(
+            5, WSConfig(protocol="shipped", initial_tasks=16,
+                        steal_chunk=8, steals_per_thief=10))
+        assert result.tasks_stolen == 16
+
+    def test_single_image_degenerate(self):
+        result = run_work_stealing(1, WSConfig())
+        assert result.tasks_stolen == 0
+        assert result.steal_attempts == 0

@@ -1,0 +1,30 @@
+"""Shared test helpers."""
+
+import pytest
+
+from repro import MachineParams, run_spmd
+
+
+@pytest.fixture
+def spmd():
+    """Run a kernel SPMD and return (machine, results)."""
+
+    def _run(kernel, n=4, setup=None, params=None, seed=0, args=(),
+             max_events=2_000_000):
+        return run_spmd(kernel, n_images=n, setup=setup, params=params,
+                        seed=seed, args=args, max_events=max_events)
+
+    return _run
+
+
+@pytest.fixture
+def fast_params():
+    """Small uniform machine parameters for latency-sensitive assertions."""
+
+    def _make(n, **kwargs):
+        defaults = dict(wire_latency=1e-6, bandwidth=1e9,
+                        o_send=1e-7, o_recv=1e-7)
+        defaults.update(kwargs)
+        return MachineParams.uniform(n, **defaults)
+
+    return _make

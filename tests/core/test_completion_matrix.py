@@ -1,0 +1,221 @@
+"""Assertions for the paper's Fig. 4 completion-semantics matrix.
+
+Each test pins one cell of the table: operation type x image role x
+completion level (local data / local operation / global).
+"""
+
+import numpy as np
+import pytest
+
+
+def _setup(m):
+    m.coarray("T", shape=8, dtype=np.float64)
+
+
+class TestAsyncBroadcastRow:
+    def test_root_local_data_means_buffer_reusable(self, spmd, fast_params):
+        """Root row: at local data completion the root's buffer can be
+        safely modified without corrupting the broadcast."""
+
+        def kernel(img):
+            buf = np.zeros(4)
+            if img.rank == 0:
+                buf[:] = 5.0
+                op = img.broadcast_async(buf, root=0)
+                yield op.local_data
+                buf[:] = -1.0  # overwrite immediately after LDC
+            else:
+                op = img.broadcast_async(buf, root=0)
+                yield op.local_data
+            yield from img.barrier()
+            return buf.tolist()
+
+        _m, results = spmd(kernel, n=4, params=fast_params(4))
+        # every participant still received the original data
+        for r in range(1, 4):
+            assert results[r] == [5.0] * 4
+
+    def test_participant_local_data_means_data_readable(self, spmd):
+        def kernel(img):
+            buf = np.zeros(4)
+            if img.rank == 0:
+                buf[:] = 9.0
+            op = img.broadcast_async(buf, root=0)
+            yield op.local_data
+            return buf.tolist()
+
+        _m, results = spmd(kernel, n=4)
+        assert results == [[9.0] * 4] * 4
+
+    def test_local_op_means_pairwise_comm_complete(self, spmd, fast_params):
+        """Local operation completion on any image: its sends are acked
+        and its receive happened — strictly later than local data on an
+        interior node."""
+        times = {}
+
+        def kernel(img):
+            buf = np.zeros(4)
+            op = img.broadcast_async(buf, root=0)
+            yield op.local_data
+            t_ld = img.now
+            yield op.local_op
+            times[img.rank] = (t_ld, img.now)
+            yield from img.barrier()
+
+        spmd(kernel, n=8, params=fast_params(8))
+        for rank, (t_ld, t_lo) in times.items():
+            assert t_ld <= t_lo
+        # rank 1 is an interior node (forwards to children): its ack wait
+        # makes local_op strictly later than local_data
+        assert times[1][0] < times[1][1]
+
+    def test_global_completion_via_finish(self, spmd):
+        """Finish column: after end finish the broadcast data is ready on
+        every participating image."""
+
+        def kernel(img):
+            buf = np.zeros(4)
+            if img.rank == 0:
+                buf[:] = 3.0
+            yield from img.finish_begin()
+            img.broadcast_async(buf, root=0)
+            yield from img.finish_end()
+            return buf.tolist()
+
+        _m, results = spmd(kernel, n=8)
+        assert results == [[3.0] * 4] * 8
+
+
+class TestAsyncCopyRow:
+    def test_reading_from_local_buffer_ldc_means_source_writable(
+            self, spmd, fast_params):
+        """Copy row 1: local data completion of a copy reading a local
+        buffer means the source may be overwritten."""
+
+        def kernel(img):
+            T = img.machine.coarray_by_name("T")
+            if img.rank == 0:
+                src = np.full(8, 1.0)
+                op = img.copy_async(T.ref(1), src)
+                yield op.local_data
+                src[:] = -7.0  # must not corrupt the in-flight copy
+                yield op.global_done
+            yield from img.barrier()
+            return T.local_at(img.rank).tolist()
+
+        _m, results = spmd(kernel, n=2, setup=_setup,
+                           params=fast_params(2))
+        assert results[1] == [1.0] * 8
+
+    def test_writing_to_local_buffer_ldc_means_dest_readable(self, spmd):
+        """Copy row 2: local data completion of a copy writing a local
+        buffer means the destination may be read."""
+
+        def kernel(img):
+            T = img.machine.coarray_by_name("T")
+            T.local_at(img.rank)[:] = img.rank + 1.0
+            yield from img.barrier()
+            if img.rank == 0:
+                dst = np.zeros(8)
+                op = img.copy_async(dst, T.ref(1))
+                yield op.local_data
+                return dst.tolist()
+            yield from img.compute(1e-5)
+            return None
+
+        _m, results = spmd(kernel, n=2, setup=_setup)
+        assert results[0] == [2.0] * 8
+
+
+class TestSpawnRow:
+    def test_initiator_ldc_means_args_evaluated(self, spmd, fast_params):
+        """Spawn row: at local data completion the initiator's argument
+        buffers may be overwritten."""
+        seen = []
+
+        def remote(img, payload):
+            seen.append(payload.tolist())
+            yield from img.compute(1e-7)
+
+        def kernel(img):
+            yield from img.finish_begin()
+            if img.rank == 0:
+                args = np.array([1.0, 2.0])
+                op = yield from img.spawn(remote, 1, args)
+                yield op.local_data
+                args[:] = -1.0
+            yield from img.finish_end()
+
+        spmd(kernel, n=2, params=fast_params(2))
+        assert seen == [[1.0, 2.0]]
+
+    def test_local_op_means_spawn_complete_on_target(self, spmd,
+                                                     fast_params):
+        """Spawn row, events column: local operation completion is the
+        spawn's delivery at the target image."""
+        delivery_time = {}
+
+        def remote(img):
+            delivery_time.setdefault("arrived", img.now)
+            yield from img.compute(1e-4)
+
+        def kernel(img):
+            yield from img.finish_begin()
+            if img.rank == 0:
+                op = yield from img.spawn(remote, 1)
+                yield op.local_op
+                delivery_time["acked"] = img.now
+            yield from img.finish_end()
+
+        spmd(kernel, n=2, params=fast_params(2))
+        # ack comes after arrival but before the 100us execution finishes
+        assert delivery_time["arrived"] < delivery_time["acked"]
+        assert delivery_time["acked"] < delivery_time["arrived"] + 1e-4
+
+    def test_finish_covers_transitively_spawned_implicit_ops(self, spmd):
+        """Spawn row, finish column: any implicit async op initiated by
+        the shipped function is globally complete at end finish."""
+
+        def remote(img):
+            T = img.machine.coarray_by_name("T")
+            img.copy_async(T.ref(0), np.full(8, 6.0))  # implicit
+            yield from img.compute(1e-7)
+
+        def kernel(img):
+            T = img.machine.coarray_by_name("T")
+            yield from img.finish_begin()
+            if img.rank == 0:
+                yield from img.spawn(remote, 1)
+            yield from img.finish_end()
+            return T.local_at(0).tolist()
+
+        _m, results = spmd(kernel, n=2, setup=_setup)
+        assert results[0] == [6.0] * 8
+        assert results[1] == [6.0] * 8
+
+
+class TestCompletionOrderInvariant:
+    @pytest.mark.parametrize("case", ["put", "get", "forward"])
+    def test_ld_le_lo_le_global(self, spmd, fast_params, case):
+        order = {}
+
+        def kernel(img):
+            T = img.machine.coarray_by_name("T")
+            yield from img.barrier()
+            if img.rank == 0:
+                if case == "put":
+                    op = img.copy_async(T.ref(1), np.ones(8))
+                elif case == "get":
+                    op = img.copy_async(np.zeros(8), T.ref(1))
+                else:
+                    op = img.copy_async(T.ref(2), T.ref(1))
+                for name, fut in (("ld", op.local_data),
+                                  ("lo", op.local_op),
+                                  ("gd", op.global_done)):
+                    fut.add_done_callback(
+                        lambda _f, n=name: order.setdefault(n, img.now))
+                yield op.global_done
+            yield from img.barrier()
+
+        spmd(kernel, n=3, setup=_setup, params=fast_params(3))
+        assert order["ld"] <= order["lo"] <= order["gd"]

@@ -1,0 +1,70 @@
+"""Smoke tests: every bundled example must run end-to-end (with scaled
+arguments where supported)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parents[2] / "examples"
+
+
+def run_example(name: str, argv: list, monkeypatch, capsys) -> str:
+    monkeypatch.setattr(sys, "argv", [name] + argv)
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example("quickstart.py", [], monkeypatch, capsys)
+    assert "allreduce of ranks = 28" in out
+    assert "shipped function" in out
+
+
+def test_uts_demo(monkeypatch, capsys):
+    out = run_example("uts_demo.py", ["--images", "4", "--depth", "5"],
+                      monkeypatch, capsys)
+    assert "MATCH" in out
+    assert "parallel efficiency" in out
+
+
+def test_randomaccess_demo(monkeypatch, capsys):
+    out = run_example("randomaccess_demo.py",
+                      ["--images", "4", "--updates", "64"],
+                      monkeypatch, capsys)
+    assert "function-shipping" in out
+    assert "bunch size" in out
+
+
+def test_halo_exchange(monkeypatch, capsys):
+    out = run_example("halo_exchange.py",
+                      ["--images", "4", "--cells", "16", "--steps", "4"],
+                      monkeypatch, capsys)
+    assert "max |error| vs sequential reference: 0.00e+00" in out
+
+
+def test_work_stealing_demo(monkeypatch, capsys):
+    out = run_example("work_stealing_demo.py", ["--images", "3"],
+                      monkeypatch, capsys)
+    assert "faster" in out
+
+
+def test_caf_demo(monkeypatch, capsys):
+    out = run_example("caf_demo.py", ["--images", "4"],
+                      monkeypatch, capsys)
+    assert "fig3_steal.caf" in out
+    assert "shipped functions" in out
+
+
+def test_trace_demo(monkeypatch, capsys, tmp_path):
+    out_file = tmp_path / "trace.json"
+    out = run_example(
+        "trace_demo.py",
+        ["--images", "4", "--depth", "5", "--out", str(out_file)],
+        monkeypatch, capsys)
+    assert "trace events" in out
+    assert out_file.exists()
+    import json
+    events = json.loads(out_file.read_text())["traceEvents"]
+    assert any(e.get("name") == "compute" for e in events)

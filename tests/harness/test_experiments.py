@@ -1,0 +1,94 @@
+"""Smoke tests for the experiment runners at tiny scales (full-scale
+shape assertions live in benchmarks/)."""
+
+import pytest
+
+from repro.harness import (
+    ablation_detectors,
+    ablation_steal_chunk,
+    ablation_tree_radix,
+    fig05_barrier_failure,
+    fig12_cofence_micro,
+    fig13_randomaccess_scaling,
+    fig14_bunch_size,
+    fig16_uts_load_balance,
+    fig17_uts_efficiency,
+    fig18_allreduce_rounds,
+    theorem1_waves,
+)
+from repro.apps.uts import TreeParams
+
+
+def test_fig05(capsys):
+    outcomes = fig05_barrier_failure()
+    assert not outcomes["barrier"]["sound"]
+    assert outcomes["epoch"]["sound"]
+    assert "Fig. 5" in capsys.readouterr().out
+
+
+def test_fig12_tiny(capsys):
+    results = fig12_cofence_micro(cores=(4, 8), iterations=5)
+    assert set(results) == {"finish", "events", "cofence"}
+    for series in results.values():
+        assert set(series) == {4, 8}
+        assert all(t > 0 for t in series.values())
+    assert "Fig. 12" in capsys.readouterr().out
+
+
+def test_fig13_tiny():
+    results = fig13_randomaccess_scaling(
+        cores=(2, 4), updates_per_image=16,
+        finish_granularities=(2,), quiet=True)
+    assert "get-update-put" in results
+    assert "FS w/ 2 finish/img" in results
+
+
+def test_fig14_tiny():
+    results = fig14_bunch_size(cores=(4,), bunch_sizes=(4, 16),
+                               updates_per_image=32, quiet=True)
+    assert results[4][4] > results[4][16]
+
+
+def test_fig16_tiny():
+    results = fig16_uts_load_balance(
+        cores=(4,), tree=TreeParams(max_depth=5), quiet=True)
+    assert 0 < results[4]["min"] <= 1 <= results[4]["max"]
+    assert len(results[4]["fractions"]) == 4
+
+
+def test_fig17_tiny():
+    results = fig17_uts_efficiency(
+        cores=(2, 4), tree=TreeParams(max_depth=5), quiet=True)
+    assert 0 < results[4] <= results[2] <= 1.001
+
+
+def test_fig18_tiny():
+    results = fig18_allreduce_rounds(
+        cores=(4,), tree=TreeParams(max_depth=5), quiet=True)
+    assert results["epoch"][4] <= results["wave_unbounded"][4]
+
+
+def test_theorem1_tiny():
+    results = theorem1_waves(chain_lengths=(1, 2), n_images=4, quiet=True)
+    assert results[1]["waves"] <= 2
+    assert results[2]["waves"] <= 3
+
+
+def test_ablation_detectors_tiny():
+    results = ablation_detectors(
+        n_images=4, tree=TreeParams(max_depth=5), quiet=True)
+    nodes = {row["total_nodes"] for row in results.values()}
+    assert len(nodes) == 1  # every detector counted the same tree
+
+
+def test_ablation_radix_tiny():
+    results = ablation_tree_radix(radixes=(2, 4), n_images=8, repeats=3,
+                                  quiet=True)
+    assert set(results) == {2, 4}
+
+
+def test_ablation_steal_chunk_tiny():
+    results = ablation_steal_chunk(
+        medium_sizes=(80, 256), n_images=4,
+        tree=TreeParams(max_depth=5), quiet=True)
+    assert results[80]["chunk"] < results[256]["chunk"]

@@ -1,0 +1,45 @@
+"""Unit tests for the reporting helpers."""
+
+import pytest
+
+from repro.harness.reporting import Table, format_seconds
+
+
+class TestFormatSeconds:
+    def test_ranges(self):
+        assert format_seconds(0) == "0"
+        assert format_seconds(2.5) == "2.500 s"
+        assert format_seconds(3.25e-3) == "3.250 ms"
+        assert format_seconds(4.2e-6) == "4.20 us"
+        assert format_seconds(1.0) == "1.000 s"
+        assert format_seconds(1e-3) == "1.000 ms"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table("demo", ["a", "long_header"])
+        t.add_row([1, "x"])
+        t.add_row([100, "yyy"])
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "long_header" in lines[1]
+        # all data lines same width structure
+        assert lines[3].startswith("1  ")
+        assert lines[4].startswith("100")
+
+    def test_row_width_validation(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            t.add_row([1])
+
+    def test_empty_table_renders(self):
+        t = Table("empty", ["x"])
+        assert "empty" in t.render()
+
+    def test_print_smoke(self, capsys):
+        t = Table("t", ["v"])
+        t.add_row([7])
+        t.print()
+        out = capsys.readouterr().out
+        assert "7" in out

@@ -1,0 +1,68 @@
+"""Unit tests for the surface-dialect lexer."""
+
+import pytest
+
+from repro.lang.lexer import LexError, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source)
+            if t.kind not in ("NEWLINE", "EOF")]
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("FINISH Finish finish") == [
+            ("KEYWORD", "finish")] * 3
+
+    def test_names_preserve_case(self):
+        assert kinds("myVar") == [("NAME", "myVar")]
+
+    def test_integers_and_floats(self):
+        assert kinds("42 3.5 1e3 2.5e-2") == [
+            ("INT", "42"), ("FLOAT", "3.5"), ("FLOAT", "1e3"),
+            ("FLOAT", "2.5e-2"),
+        ]
+
+    def test_strings_both_quotes(self):
+        assert kinds("\"hi\" 'there'") == [
+            ("STRING", "hi"), ("STRING", "there")]
+
+    def test_operators_longest_match(self):
+        assert kinds("a ** b == c /= d :: e <= f") == [
+            ("NAME", "a"), ("OP", "**"), ("NAME", "b"), ("OP", "=="),
+            ("NAME", "c"), ("OP", "/="), ("NAME", "d"), ("OP", "::"),
+            ("NAME", "e"), ("OP", "<="), ("NAME", "f"),
+        ]
+
+    def test_comments_stripped(self):
+        assert kinds("x = 1  ! the answer") == [
+            ("NAME", "x"), ("OP", "="), ("INT", "1")]
+
+    def test_comment_only_line_produces_no_tokens(self):
+        toks = tokenize("! nothing here\nx = 1")
+        assert toks[0].kind in ("NAME",)
+
+    def test_newlines_separate_statements(self):
+        toks = tokenize("a = 1\nb = 2")
+        newlines = [t for t in toks if t.kind == "NEWLINE"]
+        assert len(newlines) == 2
+
+    def test_line_numbers(self):
+        toks = tokenize("a = 1\n\nb = 2")
+        b = next(t for t in toks if t.value == "b")
+        assert b.line == 3
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize('x = "oops')
+
+    def test_bad_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("x = 1 @ 2")
+
+    def test_codimension_brackets(self):
+        assert kinds("a(2)[3]") == [
+            ("NAME", "a"), ("OP", "("), ("INT", "2"), ("OP", ")"),
+            ("OP", "["), ("INT", "3"), ("OP", "]"),
+        ]

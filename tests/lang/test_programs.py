@@ -1,0 +1,153 @@
+"""End-to-end tests of the bundled .caf programs and paper listings."""
+
+import pathlib
+
+import pytest
+
+from repro.lang import run_program
+
+CAF_DIR = pathlib.Path(__file__).parents[2] / "examples" / "caf"
+
+
+def load(name: str) -> str:
+    return (CAF_DIR / name).read_text()
+
+
+class TestBundledPrograms:
+    def test_fig3_steal(self):
+        machine, results, prints = run_program(load("fig3_steal.caf"), 4,
+                                               capture_prints=True)
+        # 3 thieves x chunk 8 = 24 tasks executed, visible everywhere
+        assert results == [24] * 4
+        assert machine.stats["spawn.executed"] == 6  # 3 steals + 3 provides
+        assert any("24" in line for line in prints)
+
+    def test_fig3_steal_single_thief(self):
+        _m, results, _p = run_program(load("fig3_steal.caf"), 2,
+                                      capture_prints=True)
+        assert results == [8] * 2
+
+    def test_fig11_microbench(self):
+        machine, _results, prints = run_program(load("fig11_microbench.caf"),
+                                                4, capture_prints=True)
+        assert machine.stats["copy.initiated"] == 50 * 5
+        assert machine.stats["cofence.calls"] == 50
+        assert any("producer done" in line for line in prints)
+
+    @pytest.mark.parametrize("n", [2, 4, 5])
+    def test_ring(self, n):
+        _m, results, _p = run_program(load("ring.caf"), n,
+                                      capture_prints=True)
+        expected = 2 * sum(range(n))
+        assert results[0] == expected
+
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_fig8_pipeline(self, n):
+        machine, results, _p = run_program(load("fig8_pipeline.caf"), n,
+                                           capture_prints=True)
+        # every image received its predecessor's 8 values
+        for r in range(n):
+            pred = (r - 1) % n
+            expected = sum(pred * 100 + i for i in range(1, 9))
+            assert results[r] == expected
+        assert machine.stats["cofence.calls"] == 8 * n
+
+    @pytest.mark.parametrize("n", [1, 3, 4])
+    def test_fib(self, n):
+        machine, results, _p = run_program(load("fib.caf"), n,
+                                           capture_prints=True)
+        assert results == [55] * n  # fib(10), summed across all images
+        assert machine.stats["spawn.executed"] == 177  # full spawn tree
+
+
+class TestPaperListings:
+    def test_fig10_cofence_dynamic_scoping(self):
+        """Paper Fig. 10: a cofence inside a shipped function covers only
+        that function's asynchronous operations."""
+        src = """
+program fig10
+  integer :: a(4)[*]
+  integer :: b(4)[*]
+  integer :: mine(4)
+  mine = 1
+  copy_async(a(:)[1], mine(:))
+  finish
+    if (this_image() == 0) then
+      spawn foo() [1]
+    end if
+    cofence()
+  end finish
+  return b(1)[0]
+end program
+
+function foo()
+  integer :: local(4)
+  local = 7
+  copy_async(b(:)[0], local(:))
+  cofence()
+end function
+"""
+        _m, results, _p = run_program(src, 2, capture_prints=True)
+        assert results == [7, 7]
+
+    def test_fig9_broadcast_style_double_buffer(self):
+        """The Fig. 9 idea expressed with copy_async + directed cofence:
+        overwrite the send buffer as soon as WRITE-class ops may pass."""
+        src = """
+program fig9ish
+  integer :: stage(1)[*]
+  integer :: out(1)
+  event :: tick[*]
+  integer :: r, succ
+  succ = mod(this_image() + 1, num_images())
+  do r = 1, 3
+    out(1) = this_image() * 10 + r
+    copy_async(stage(1)[succ], out(1), tick[succ])
+    call event_wait(tick)
+    call team_barrier()
+  end do
+  return stage(1)
+end program
+"""
+        _m, results, _p = run_program(src, 3, capture_prints=True)
+        # each image holds its predecessor's round-3 value
+        assert results == [(r - 1) % 3 * 10 + 3 for r in range(3)]
+
+    def test_fig2_get_put_lock_steal(self):
+        """Paper Fig. 2: the five-round-trip steal written with blocking
+        remote reads/writes and a remote lock."""
+        src = """
+program fig2
+  integer :: metadata(1)[*]
+  integer :: queue(32)[*]
+  integer :: stolen(1)[*]
+  lock :: qlock[*]
+  integer :: m, w, i
+
+  if (this_image() == 0) then
+    metadata(1) = 32
+    do i = 1, 32
+      queue(i) = i
+    end do
+  end if
+  call team_barrier()
+
+  if (this_image() /= 0) then
+    m = metadata(1)[0]
+    if (m > 0) then
+      call lock(qlock, 0)
+      m = metadata(1)[0]
+      if (m > 0) then
+        w = min(m, 4)
+        metadata(1)[0] = m - w
+        stolen(1) = stolen(1) + w
+      end if
+      call unlock(qlock, 0)
+    end if
+  end if
+  call team_barrier()
+  return allreduce(stolen(1))
+end program
+"""
+        _m, results, _p = run_program(src, 5, capture_prints=True)
+        assert results == [16] * 5  # 4 thieves x 4 tasks, race-free

@@ -1,0 +1,95 @@
+"""Unit tests for credit-based flow control."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.tasks import Delay, Task
+from repro.net.flowcontrol import CreditManager
+
+
+class TestCreditManager:
+    def test_acquire_without_contention_is_immediate(self):
+        sim = Simulator()
+        cm = CreditManager(sim, credits=2)
+        done = []
+
+        def t():
+            yield from cm.acquire(0, 1)
+            yield from cm.acquire(0, 1)
+            done.append(sim.now)
+
+        Task(sim, t())
+        sim.run()
+        assert done == [0.0]
+        assert cm.outstanding(0, 1) == 2
+
+    def test_pairs_are_independent(self):
+        sim = Simulator()
+        cm = CreditManager(sim, credits=1)
+        done = []
+
+        def t():
+            yield from cm.acquire(0, 1)
+            yield from cm.acquire(0, 2)  # different pair: no blocking
+            done.append(sim.now)
+
+        Task(sim, t())
+        sim.run()
+        assert done == [0.0]
+
+    def test_exhaustion_blocks_until_release(self):
+        sim = Simulator()
+        cm = CreditManager(sim, credits=1, stall_penalty=0.0)
+        trace = []
+
+        def t():
+            yield from cm.acquire(0, 1)
+            trace.append(("first", sim.now))
+            yield from cm.acquire(0, 1)
+            trace.append(("second", sim.now))
+
+        Task(sim, t())
+        sim.schedule(5.0, cm.release, 0, 1)
+        sim.run()
+        assert trace == [("first", 0.0), ("second", 5.0)]
+
+    def test_stall_penalty_charged_on_block(self):
+        sim = Simulator()
+        cm = CreditManager(sim, credits=1, stall_penalty=1.0)
+        trace = []
+
+        def t():
+            yield from cm.acquire(0, 1)
+            yield from cm.acquire(0, 1)
+            trace.append(sim.now)
+
+        Task(sim, t())
+        sim.schedule(5.0, cm.release, 0, 1)
+        sim.run()
+        assert trace == [6.0]
+        assert cm.stats["flow.stalls"] == 1
+
+    def test_no_stall_counted_when_credits_available(self):
+        sim = Simulator()
+        cm = CreditManager(sim, credits=3)
+
+        def t():
+            yield from cm.acquire(0, 1)
+            yield Delay(0)
+
+        Task(sim, t())
+        sim.run()
+        assert cm.stats["flow.stalls"] == 0
+
+    def test_release_before_acquire_adds_credit(self):
+        sim = Simulator()
+        cm = CreditManager(sim, credits=1)
+        cm.release(0, 1)
+        assert cm.outstanding(0, 1) == -1  # pool grew past initial size
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            CreditManager(sim, credits=0)
+        with pytest.raises(ValueError):
+            CreditManager(sim, credits=1, stall_penalty=-1.0)

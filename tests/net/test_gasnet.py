@@ -1,0 +1,157 @@
+"""Unit tests for the GASNet-like one-sided layer."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.tasks import Task
+from repro.net.topology import MachineParams
+from repro.net.transport import Network
+from repro.net.active_messages import AMLayer
+from repro.net.gasnet import AccessRegionError, Gasnet, Segment
+
+
+def make_gasnet(n=4):
+    sim = Simulator()
+    net = Network(sim, MachineParams.uniform(n))
+    gn = Gasnet(AMLayer(net))
+    gn.register_segment(Segment("tab", n, shape=8, dtype=np.int64))
+    return sim, gn
+
+
+class TestSegments:
+    def test_per_image_instances_are_independent(self):
+        _sim, gn = make_gasnet()
+        seg = gn.segment("tab")
+        seg.local(0)[:] = 1
+        assert seg.local(1).sum() == 0
+
+    def test_duplicate_registration_rejected(self):
+        _sim, gn = make_gasnet()
+        with pytest.raises(ValueError):
+            gn.register_segment(Segment("tab", 4, shape=8))
+
+    def test_wrong_image_count_rejected(self):
+        _sim, gn = make_gasnet(4)
+        with pytest.raises(ValueError):
+            gn.register_segment(Segment("other", 8, shape=4))
+
+    def test_unknown_segment(self):
+        _sim, gn = make_gasnet()
+        with pytest.raises(KeyError):
+            gn.segment("missing")
+
+    def test_nbytes_of(self):
+        seg = Segment("s", 2, shape=16, dtype=np.int64)
+        assert seg.nbytes_of(slice(0, 4)) == 32
+        assert seg.nbytes_of(0) == 8
+
+
+class TestPut:
+    def test_put_writes_remote_segment(self):
+        sim, gn = make_gasnet()
+        h = gn.put_nb(0, 2, "tab", slice(0, 3), [7, 8, 9])
+        sim.run()
+        assert h.done.done
+        assert gn.segment("tab").local(2)[:3].tolist() == [7, 8, 9]
+        assert gn.segment("tab").local(0).sum() == 0
+
+    def test_local_data_before_done(self):
+        sim, gn = make_gasnet()
+        h = gn.put_nb(0, 1, "tab", 0, 5)
+        times = {}
+        h.local_data.add_done_callback(lambda _f: times.setdefault("ld", sim.now))
+        h.done.add_done_callback(lambda _f: times.setdefault("done", sim.now))
+        sim.run()
+        assert times["ld"] < times["done"]
+
+    def test_put_to_self(self):
+        sim, gn = make_gasnet()
+        gn.put_nb(1, 1, "tab", 4, 42)
+        sim.run()
+        assert gn.segment("tab").local(1)[4] == 42
+
+
+class TestGet:
+    def test_get_fetches_remote_values(self):
+        sim, gn = make_gasnet()
+        gn.segment("tab").local(3)[:] = np.arange(8)
+        h = gn.get_nb(0, 3, "tab", slice(2, 5))
+        sim.run()
+        assert h.done.done
+        assert np.asarray(h.value).tolist() == [2, 3, 4]
+
+    def test_get_returns_copy_not_view(self):
+        sim, gn = make_gasnet()
+        gn.segment("tab").local(1)[0] = 10
+        h = gn.get_nb(0, 1, "tab", 0)
+        sim.run()
+        gn.segment("tab").local(1)[0] = 99
+        assert h.value == 10
+
+    def test_get_takes_a_round_trip(self):
+        sim, gn = make_gasnet()
+        done_at = []
+        h = gn.get_nb(0, 1, "tab", 0)
+        h.done.add_done_callback(lambda _f: done_at.append(sim.now))
+        sim.run()
+        wire = gn.am.params.topology.latency(0, 1)
+        assert done_at[0] >= 2 * wire
+
+
+class TestImplicitAndRegions:
+    def test_wait_syncnbi_all(self):
+        sim, gn = make_gasnet()
+        results = []
+
+        def kernel():
+            gn.put_nbi(0, 1, "tab", 0, 1)
+            gn.put_nbi(0, 2, "tab", 0, 2)
+            yield from gn.wait_syncnbi_all(0)
+            results.append((
+                gn.segment("tab").local(1)[0],
+                gn.segment("tab").local(2)[0],
+            ))
+
+        Task(sim, kernel())
+        sim.run()
+        assert results == [(1, 2)]
+
+    def test_wait_syncnbi_all_with_nothing_pending(self):
+        sim, gn = make_gasnet()
+        done = []
+
+        def kernel():
+            yield from gn.wait_syncnbi_all(0)
+            done.append(sim.now)
+
+        Task(sim, kernel())
+        sim.run()
+        assert done == [0.0]
+
+    def test_access_region_aggregates(self):
+        sim, gn = make_gasnet()
+        gn.begin_accessregion(0)
+        gn.put_nbi(0, 1, "tab", 0, 11)
+        gn.get_nbi(0, 2, "tab", 0)
+        agg = gn.end_accessregion(0)
+        sim.run()
+        assert agg.done
+
+    def test_access_regions_cannot_nest(self):
+        _sim, gn = make_gasnet()
+        gn.begin_accessregion(0)
+        with pytest.raises(AccessRegionError, match="nested"):
+            gn.begin_accessregion(0)
+
+    def test_end_without_begin(self):
+        _sim, gn = make_gasnet()
+        with pytest.raises(AccessRegionError):
+            gn.end_accessregion(0)
+
+    def test_regions_independent_per_image(self):
+        _sim, gn = make_gasnet()
+        gn.begin_accessregion(0)
+        gn.begin_accessregion(1)  # fine: different image
+        gn.end_accessregion(0)
+        gn.end_accessregion(1)

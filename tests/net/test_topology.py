@@ -1,0 +1,133 @@
+"""Unit tests for network cost models."""
+
+import pytest
+
+from repro.net.topology import (
+    HierarchicalTopology,
+    HypercubeTopology,
+    MachineParams,
+    TorusTopology,
+    UniformTopology,
+    log2_rounds,
+)
+
+
+class TestUniformTopology:
+    def test_remote_and_self_latency(self):
+        t = UniformTopology(4, wire_latency=1e-6, self_latency=1e-8)
+        assert t.latency(0, 1) == 1e-6
+        assert t.latency(3, 0) == 1e-6
+        assert t.latency(2, 2) == 1e-8
+
+    def test_out_of_range_pair(self):
+        t = UniformTopology(2)
+        with pytest.raises(ValueError):
+            t.latency(0, 2)
+        with pytest.raises(ValueError):
+            t.latency(-1, 0)
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            UniformTopology(0)
+        with pytest.raises(ValueError):
+            UniformTopology(2, wire_latency=0)
+
+
+class TestHierarchicalTopology:
+    def test_intra_vs_inter_node(self):
+        t = HierarchicalTopology(16, images_per_node=4,
+                                 intra_latency=1e-7, inter_latency=2e-6)
+        assert t.latency(0, 3) == 1e-7   # same node
+        assert t.latency(0, 4) == 2e-6   # different node
+        assert t.node_of(5) == 1
+
+    def test_self_latency(self):
+        t = HierarchicalTopology(8, self_latency=5e-8)
+        assert t.latency(1, 1) == 5e-8
+
+
+class TestHypercubeTopology:
+    def test_hops(self):
+        assert HypercubeTopology.hops(0, 0) == 0
+        assert HypercubeTopology.hops(0, 1) == 1
+        assert HypercubeTopology.hops(0b101, 0b010) == 3
+
+    def test_latency_grows_with_distance(self):
+        t = HypercubeTopology(8, base_latency=1e-6, per_hop=1e-7)
+        assert t.latency(0, 1) == pytest.approx(1.1e-6)
+        assert t.latency(0, 7) == pytest.approx(1.3e-6)
+        assert t.latency(0, 0) == t.self_latency
+
+
+class TestTorusTopology:
+    def test_coordinates_row_major(self):
+        t = TorusTopology(24, dims=(2, 3, 4))
+        assert t.coordinates(0) == (0, 0, 0)
+        assert t.coordinates(5) == (0, 1, 1)
+        assert t.coordinates(23) == (1, 2, 3)
+
+    def test_hops_take_short_way_around(self):
+        t = TorusTopology(8, dims=(8,))
+        assert t.hops(0, 1) == 1
+        assert t.hops(0, 7) == 1   # wraps the ring
+        assert t.hops(0, 4) == 4
+
+    def test_hops_sum_over_dimensions(self):
+        t = TorusTopology(16, dims=(4, 4))
+        # (0,0) -> (1,2): 1 + 2 hops
+        assert t.hops(0, 6) == 3
+
+    def test_hops_symmetric(self):
+        t = TorusTopology(27, dims=(3, 3, 3))
+        for a in range(0, 27, 5):
+            for b in range(0, 27, 7):
+                assert t.hops(a, b) == t.hops(b, a)
+
+    def test_latency_model(self):
+        t = TorusTopology(8, dims=(8,), base_latency=1e-6, per_hop=1e-7)
+        assert t.latency(0, 2) == pytest.approx(1.2e-6)
+        assert t.latency(3, 3) == t.self_latency
+
+    def test_volume_validation(self):
+        with pytest.raises(ValueError, match="exceed"):
+            TorusTopology(9, dims=(2, 4))
+        with pytest.raises(ValueError, match="bad torus"):
+            TorusTopology(4, dims=())
+        TorusTopology(7, dims=(2, 4))  # partial fill is fine
+
+
+class TestMachineParams:
+    def test_defaults_and_transfer_time(self):
+        p = MachineParams.uniform(8)
+        assert p.n_images == 8
+        assert p.transfer_time(5_000_000_000) == pytest.approx(1.0)
+        assert p.transfer_time(0) == 0.0
+
+    def test_uniform_forwarding_of_latency_kwargs(self):
+        p = MachineParams.uniform(4, wire_latency=9e-6)
+        assert p.topology.latency(0, 1) == 9e-6
+
+    def test_am_medium_max_default(self):
+        # Sized so a shipped steal carries exactly 9 UTS items (§IV-C);
+        # the item arithmetic is asserted in tests/apps/test_uts.py.
+        p = MachineParams.uniform(2)
+        assert p.am_medium_max == 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineParams.uniform(2, bandwidth=0)
+        with pytest.raises(ValueError):
+            MachineParams.uniform(2, jitter=1.5)
+        with pytest.raises(ValueError):
+            MachineParams.uniform(2, flow_credits=0)
+        with pytest.raises(ValueError):
+            MachineParams.uniform(2).transfer_time(-1)
+
+
+def test_log2_rounds():
+    assert log2_rounds(1) == 0
+    assert log2_rounds(2) == 1
+    assert log2_rounds(5) == 3
+    assert log2_rounds(1024) == 10
+    with pytest.raises(ValueError):
+        log2_rounds(0)

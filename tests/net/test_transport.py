@@ -1,0 +1,138 @@
+"""Unit tests for the message transport layer."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.trace import Stats
+from repro.net.topology import MachineParams, UniformTopology
+from repro.net.transport import Message, Network
+
+
+def make_net(n=4, **kwargs):
+    sim = Simulator()
+    defaults = dict(
+        topology=UniformTopology(n, wire_latency=1e-6, self_latency=1e-7),
+        bandwidth=1e9, o_send=1e-7, o_recv=1e-7,
+    )
+    defaults.update(kwargs)
+    params = MachineParams(**defaults)
+    return sim, Network(sim, params)
+
+
+class TestDeliveryTiming:
+    def test_basic_delivery_time(self):
+        sim, net = make_net()
+        arrivals = []
+        msg = Message(0, 1, 1000, None, on_deliver=lambda m: arrivals.append(sim.now))
+        net.send(msg)
+        sim.run()
+        # o_send + 1000/1e9 + latency + o_recv = 1e-7 + 1e-6 + 1e-6 + 1e-7
+        assert arrivals == [pytest.approx(2.2e-6)]
+
+    def test_injected_future_resolves_at_injection_end(self):
+        sim, net = make_net()
+        msg = Message(0, 1, 1000, None)
+        receipt = net.send(msg)
+        times = []
+        receipt.injected.add_done_callback(lambda _f: times.append(sim.now))
+        sim.run()
+        assert times == [pytest.approx(1.1e-6)]  # o_send + size/bw
+
+    def test_nic_serializes_injection(self):
+        sim, net = make_net()
+        arrivals = []
+        for tag in range(3):
+            net.send(Message(0, 1, 1000, tag,
+                             on_deliver=lambda m: arrivals.append((m.payload, sim.now))))
+        sim.run()
+        # Each message adds o_send + transfer to the NIC busy window.
+        t0 = 1.1e-6 + 1.1e-6  # inject end of msg0 + wire + o_recv
+        assert arrivals[0] == (0, pytest.approx(t0))
+        assert arrivals[1] == (1, pytest.approx(t0 + 1.1e-6))
+        assert arrivals[2] == (2, pytest.approx(t0 + 2.2e-6))
+
+    def test_nic_busy_until(self):
+        sim, net = make_net()
+        net.send(Message(0, 1, 1000, None))
+        assert net.nic_busy_until(0) == pytest.approx(1.1e-6)
+        assert net.nic_busy_until(1) == 0.0
+
+    def test_loopback_uses_self_latency(self):
+        sim, net = make_net()
+        arrivals = []
+        net.send(Message(2, 2, 0, None, on_deliver=lambda m: arrivals.append(sim.now)))
+        sim.run()
+        assert arrivals == [pytest.approx(1e-7 + 1e-7 + 1e-7)]
+
+
+class TestAcks:
+    def test_delivered_future_includes_ack_latency(self):
+        sim, net = make_net()
+        receipt = net.send(Message(0, 1, 0, None), want_ack=True)
+        times = []
+        receipt.delivered.add_done_callback(lambda _f: times.append(sim.now))
+        sim.run()
+        # inject o_send + wire + o_recv + ack wire
+        assert times == [pytest.approx(1e-7 + 1e-6 + 1e-7 + 1e-6)]
+
+    def test_no_ack_means_no_delivered_future(self):
+        _sim, net = make_net()
+        receipt = net.send(Message(0, 1, 0, None))
+        assert receipt.delivered is None
+
+    def test_ack_latency_factor(self):
+        sim, net = make_net(ack_latency_factor=0.5)
+        receipt = net.send(Message(0, 1, 0, None), want_ack=True)
+        times = []
+        receipt.delivered.add_done_callback(lambda _f: times.append(sim.now))
+        sim.run()
+        assert times == [pytest.approx(1e-7 + 1e-6 + 1e-7 + 0.5e-6)]
+
+
+class TestJitterAndStats:
+    def test_jitter_reorders_messages(self):
+        # With heavy jitter, two same-size messages sent back-to-back can
+        # arrive out of order — the no-FIFO property the termination
+        # detector must survive.
+        sim, net = make_net(jitter=0.9)
+        order = []
+        for tag in range(20):
+            net.send(Message(0, 1, 0, tag,
+                             on_deliver=lambda m: order.append(m.payload)))
+        sim.run()
+        assert sorted(order) == list(range(20))
+        assert order != list(range(20))
+
+    def test_jitter_is_deterministic(self):
+        def run_once():
+            sim, net = make_net(jitter=0.5)
+            order = []
+            for tag in range(10):
+                net.send(Message(0, 1, 0, tag,
+                                 on_deliver=lambda m: order.append(m.payload)))
+            sim.run()
+            return order
+
+        assert run_once() == run_once()
+
+    def test_stats_counters(self):
+        sim, net = make_net()
+        net.send(Message(0, 1, 100, None, kind="test"))
+        net.send(Message(1, 2, 50, None, kind="test"))
+        sim.run()
+        assert net.stats["net.msgs"] == 2
+        assert net.stats["net.bytes"] == 150
+        assert net.stats["net.kind.test"] == 2
+
+    def test_external_stats_object(self):
+        sim = Simulator()
+        stats = Stats()
+        params = MachineParams.uniform(2)
+        net = Network(sim, params, stats=stats)
+        net.send(Message(0, 1, 10, None))
+        assert stats["net.msgs"] == 1
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        Message(0, 1, -5, None)

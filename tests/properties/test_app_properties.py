@@ -1,0 +1,95 @@
+"""Property-based tests for the application kernels."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.randomaccess import hpcc_starts, hpcc_stream
+from repro.apps.uts import (
+    TreeParams,
+    UTSConfig,
+    expand,
+    num_children,
+    pack_items,
+    root_descriptor,
+    run_uts,
+    sequential_tree_size,
+    unpack_items,
+)
+
+SLOW = settings(max_examples=12, deadline=None)
+
+
+class TestHPCCStream:
+    @given(n=st.integers(1, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_jump_ahead_matches_iteration(self, n):
+        """hpcc_starts(n) == the n-th sequential LFSR value, for any n."""
+        assert hpcc_starts(n) == int(hpcc_stream(1, n)[-1])
+
+    @given(start=st.integers(0, 3000), count=st.integers(1, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_segments_tile_the_sequence(self, start, count):
+        segment = hpcc_stream(hpcc_starts(start), count)
+        whole = hpcc_stream(1, start + count)
+        assert segment.tolist() == whole[start:start + count].tolist()
+
+    @given(offset=st.integers(0, 10**6), count=st.integers(128, 512))
+    @settings(max_examples=10, deadline=None)
+    def test_stream_never_cycles_short(self, offset, count):
+        """All values within any window are distinct (the LFSR's period
+        is ~1.3e18, so short cycles indicate a broken step)."""
+        s = hpcc_stream(hpcc_starts(offset), count)
+        assert len(set(s.tolist())) == count
+
+
+class TestUTSTreeProperties:
+    @given(seed=st.integers(0, 10**6), depth=st.integers(0, 5),
+           b0=st.floats(0.5, 6.0, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_sequential_count_is_deterministic_and_positive(self, seed,
+                                                            depth, b0):
+        params = TreeParams(b0=b0, max_depth=depth, seed=seed)
+        a = sequential_tree_size(params)
+        b = sequential_tree_size(params)
+        assert a == b >= 1
+
+    @given(seed=st.integers(0, 10**6), depth=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_expansion_respects_depth_bound(self, seed, depth):
+        params = TreeParams(max_depth=depth, seed=seed)
+        stack = [(root_descriptor(params), 0)]
+        while stack:
+            desc, d = stack.pop()
+            children = expand(desc, d, params)
+            if d >= depth:
+                assert children == []
+            assert all(cd == d + 1 for _c, cd in children)
+            stack.extend(children)
+
+    @given(items=st.lists(
+        st.tuples(st.binary(min_size=20, max_size=20),
+                  st.integers(0, 2**31 - 1)),
+        max_size=9))
+    def test_pack_unpack_roundtrip(self, items):
+        assert unpack_items(pack_items(items)) == items
+
+
+class TestUTSDistributedProperties:
+    @SLOW
+    @given(n=st.integers(1, 6), seed=st.integers(0, 100),
+           depth=st.integers(3, 5))
+    def test_distributed_count_always_matches_sequential(self, n, seed,
+                                                         depth):
+        tree = TreeParams(b0=3.0, max_depth=depth, seed=seed)
+        expected = sequential_tree_size(tree)
+        result = run_uts(n, UTSConfig(tree=tree), seed=seed)
+        assert result.total_nodes == expected
+        assert sum(result.nodes_per_image) == expected
+
+    @SLOW
+    @given(machine_seed=st.integers(0, 1000))
+    def test_count_invariant_under_machine_seed(self, machine_seed):
+        """Steal-victim randomness must never change the answer."""
+        tree = TreeParams(max_depth=5, seed=19)
+        result = run_uts(4, UTSConfig(tree=tree), seed=machine_seed)
+        assert result.total_nodes == sequential_tree_size(tree)

@@ -1,0 +1,117 @@
+"""Property-based tests for collectives: results must equal their
+sequential specification for any team size, values and operator."""
+
+import functools
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import run_spmd
+
+sizes = st.integers(min_value=1, max_value=9)
+value_lists = st.lists(st.integers(-10**6, 10**6), min_size=9, max_size=9)
+
+SLOW = settings(max_examples=20, deadline=None)
+
+
+@SLOW
+@given(n=sizes, values=value_lists,
+       op=st.sampled_from(["sum", "max", "min"]))
+def test_allreduce_matches_sequential_reduce(n, values, op):
+    values = values[:n]
+    fn = {"sum": lambda a, b: a + b, "max": max, "min": min}[op]
+    expected = functools.reduce(fn, values)
+
+    def kernel(img):
+        return (yield from img.allreduce(values[img.rank], op=op))
+
+    _m, results = run_spmd(kernel, n)
+    assert results == [expected] * n
+
+
+@SLOW
+@given(n=sizes, values=value_lists)
+def test_scan_matches_prefix_sums(n, values):
+    values = values[:n]
+
+    def kernel(img):
+        return (yield from img.scan(values[img.rank]))
+
+    _m, results = run_spmd(kernel, n)
+    expected = list(np.cumsum(values))
+    assert results == expected
+
+
+@SLOW
+@given(n=sizes, values=value_lists, root_seed=st.integers(0, 100))
+def test_broadcast_delivers_root_value(n, values, root_seed):
+    root = root_seed % n
+
+    def kernel(img):
+        v = values[img.rank] if img.team_rank() == root else None
+        return (yield from img.broadcast(v, root=root))
+
+    _m, results = run_spmd(kernel, n)
+    assert results == [values[root]] * n
+
+
+@SLOW
+@given(n=sizes, values=value_lists, root_seed=st.integers(0, 100))
+def test_gather_collects_in_rank_order(n, values, root_seed):
+    root = root_seed % n
+
+    def kernel(img):
+        return (yield from img.gather(values[img.rank], root=root))
+
+    _m, results = run_spmd(kernel, n)
+    assert results[root] == values[:n]
+    for r in range(n):
+        if r != root:
+            assert results[r] is None
+
+
+@SLOW
+@given(n=sizes, values=value_lists)
+def test_alltoall_is_transpose(n, values):
+    def kernel(img):
+        row = [(img.rank, j, values[img.rank]) for j in range(n)]
+        return (yield from img.alltoall(row))
+
+    _m, results = run_spmd(kernel, n)
+    for j in range(n):
+        assert results[j] == [(i, j, values[i]) for i in range(n)]
+
+
+@SLOW
+@given(n=st.integers(2, 6),
+       chunks=st.lists(st.lists(st.integers(-100, 100), min_size=3,
+                                max_size=3), min_size=6, max_size=6))
+def test_sort_produces_globally_sorted_partition(n, chunks):
+    chunks = chunks[:n]
+
+    def kernel(img):
+        chunk = yield from img.sort(np.array(chunks[img.rank]))
+        return chunk.tolist()
+
+    _m, results = run_spmd(kernel, n)
+    merged = [v for chunk in results for v in chunk]
+    assert merged == sorted(v for c in chunks for v in c)
+
+
+@SLOW
+@given(n=st.integers(2, 8), colors=st.lists(st.integers(0, 2), min_size=8,
+                                            max_size=8))
+def test_team_split_partitions_world(n, colors):
+    colors = colors[:n]
+
+    def kernel(img):
+        team = yield from img.team_split(img.team_world,
+                                         color=colors[img.rank],
+                                         key=img.rank)
+        return tuple(team.members)
+
+    _m, results = run_spmd(kernel, n)
+    # every member's team is exactly the set of ranks with its color
+    for r in range(n):
+        expected = tuple(w for w in range(n) if colors[w] == colors[r])
+        assert results[r] == expected

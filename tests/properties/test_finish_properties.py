@@ -1,0 +1,116 @@
+"""Property-based tests of finish's termination detection: for *any*
+randomly-shaped spawn forest, finish must not return until every
+transitively spawned task has completed, its counters must balance, and
+the wave count must respect Theorem 1."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import run_spmd
+from repro.net.topology import MachineParams
+
+SLOW = settings(max_examples=15, deadline=None)
+
+# A spawn tree: each node is (work_cost_us, [children]).
+spawn_trees = st.recursive(
+    st.tuples(st.integers(1, 20), st.just([])),
+    lambda children: st.tuples(st.integers(1, 20),
+                               st.lists(children, max_size=3)),
+    max_leaves=12,
+)
+
+
+def tree_depth(tree) -> int:
+    _cost, children = tree
+    return 1 + max((tree_depth(c) for c in children), default=0)
+
+
+def tree_size(tree) -> int:
+    _cost, children = tree
+    return 1 + sum(tree_size(c) for c in children)
+
+
+@SLOW
+@given(tree=spawn_trees, n=st.integers(2, 6),
+       jitter=st.sampled_from([0.0, 0.5]))
+def test_finish_waits_for_arbitrary_spawn_forests(tree, n, jitter):
+    completed = []
+
+    def task(img, path):
+        # trees are looked up by path so the spawn payload stays tiny
+        # (spawns are medium AMs with a hard size cap)
+        subtree = img.machine.scratch["tree"]
+        for idx in path:
+            subtree = subtree[1][idx]
+        cost, children = subtree
+        yield from img.compute(cost * 1e-6)
+        for i in range(len(children)):
+            target = (img.team_rank() + i + 1) % img.nimages
+            yield from img.spawn(task, target, path + (i,))
+        completed.append(img.now)
+
+    def kernel(img):
+        img.machine.scratch["tree"] = tree
+        yield from img.finish_begin()
+        if img.rank == 0:
+            yield from img.spawn(task, 1 % img.nimages, ())
+        waves = yield from img.finish_end()
+        return (img.now, waves)
+
+    params = MachineParams.uniform(n, jitter=jitter)
+    _m, results = run_spmd(kernel, n, params=params)
+
+    assert len(completed) == tree_size(tree)
+    last_task_done = max(completed)
+    for exit_time, _waves in results:
+        assert exit_time >= last_task_done
+    # Theorem 1: waves <= L + 1 where L = longest spawn chain
+    waves = results[0][1]
+    assert waves <= tree_depth(tree) + 1
+    assert all(w == waves for _t, w in results)
+
+
+@SLOW
+@given(tree=spawn_trees, n=st.integers(2, 5))
+def test_counters_balance_after_finish(tree, n):
+    def task(img, path):
+        subtree = img.machine.scratch["tree"]
+        for idx in path:
+            subtree = subtree[1][idx]
+        cost, children = subtree
+        yield from img.compute(cost * 1e-6)
+        for i in range(len(children)):
+            target = (img.team_rank() + i + 1) % img.nimages
+            yield from img.spawn(task, target, path + (i,))
+
+    def kernel(img):
+        img.machine.scratch["tree"] = tree
+        yield from img.finish_begin()
+        if img.rank == 0:
+            yield from img.spawn(task, 1 % img.nimages, ())
+        yield from img.finish_end()
+
+    machine, _ = run_spmd(kernel, n)
+    total = {"sent": 0, "delivered": 0, "received": 0, "completed": 0}
+    for (_rank, _key), frame in machine._frames.items():
+        for epoch in (frame.even, frame.odd):
+            total["sent"] += epoch.sent
+            total["delivered"] += epoch.delivered
+            total["received"] += epoch.received
+            total["completed"] += epoch.completed
+    assert total["sent"] == total["delivered"] \
+        == total["received"] == total["completed"] == tree_size(tree)
+
+
+@SLOW
+@given(n=st.integers(2, 6), blocks=st.integers(1, 4))
+def test_repeated_empty_finishes_cost_one_wave_each(n, blocks):
+    def kernel(img):
+        waves = []
+        for _ in range(blocks):
+            yield from img.finish_begin()
+            waves.append((yield from img.finish_end()))
+        return waves
+
+    _m, results = run_spmd(kernel, n)
+    for per_image in results:
+        assert per_image == [1] * blocks

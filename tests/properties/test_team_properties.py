@@ -1,0 +1,72 @@
+"""Property-based tests for Team tree/hypercube structure."""
+
+from hypothesis import given, strategies as st
+
+from repro.runtime.team import Team
+
+team_sizes = st.integers(min_value=1, max_value=40)
+radixes = st.integers(min_value=2, max_value=5)
+
+
+@given(size=team_sizes, root_seed=st.integers(0, 10**6), radix=radixes)
+def test_tree_spans_all_ranks_exactly_once(size, root_seed, radix):
+    team = Team(range(size))
+    root = root_seed % size
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        r = frontier.pop()
+        for c in team.tree_children(r, root, radix):
+            assert c not in seen, "tree revisits a rank"
+            seen.add(c)
+            frontier.append(c)
+    assert seen == set(range(size))
+
+
+@given(size=team_sizes, root_seed=st.integers(0, 10**6), radix=radixes)
+def test_tree_parent_inverts_children(size, root_seed, radix):
+    team = Team(range(size))
+    root = root_seed % size
+    for r in range(size):
+        parent = team.tree_parent(r, root, radix)
+        if r == root:
+            assert parent is None
+        else:
+            assert r in team.tree_children(parent, root, radix)
+
+
+@given(size=team_sizes, root_seed=st.integers(0, 10**6), radix=radixes)
+def test_tree_depth_is_logarithmic(size, root_seed, radix):
+    import math
+    team = Team(range(size))
+    root = root_seed % size
+    max_depth = 0
+    for r in range(size):
+        depth, cur = 0, r
+        while cur != root:
+            cur = team.tree_parent(cur, root, radix)
+            depth += 1
+        max_depth = max(max_depth, depth)
+    if size > 1:
+        assert max_depth <= math.ceil(math.log(size, radix)) + 1
+
+
+@given(size=team_sizes)
+def test_hypercube_neighbors_symmetric_and_bounded(size):
+    team = Team(range(size))
+    for r in range(size):
+        neighbors = team.hypercube_neighbors(r)
+        assert len(set(neighbors)) == len(neighbors)
+        assert all(0 <= n < size and n != r for n in neighbors)
+        for n in neighbors:
+            assert r in team.hypercube_neighbors(n)
+
+
+@given(members=st.lists(st.integers(0, 1000), min_size=1, max_size=30,
+                        unique=True))
+def test_rank_world_roundtrip(members):
+    team = Team(members)
+    for tr in range(team.size):
+        assert team.rank_of(team.world_rank(tr)) == tr
+    for w in members:
+        assert team.world_rank(team.rank_of(w)) == w

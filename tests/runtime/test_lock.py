@@ -1,0 +1,89 @@
+"""Tests for distributed locks."""
+
+import pytest
+
+from repro.runtime.program import Machine
+
+
+class TestLock:
+    def test_mutual_exclusion(self, spmd):
+        """Concurrent remote increments under a lock never interleave."""
+        trace = []
+
+        def setup(m):
+            m.make_lock(name="L")
+
+        def kernel(img):
+            lock = img.machine.lock_by_name("L")
+            for _ in range(3):
+                yield from lock.acquire(img, 0)
+                trace.append(("enter", img.rank, img.now))
+                yield from img.compute(1e-6)
+                trace.append(("exit", img.rank, img.now))
+                lock.release(img, 0)
+
+        spmd(kernel, n=4, setup=setup)
+        # Critical sections must not overlap in time.
+        intervals = []
+        entered = {}
+        for kind, rank, t in sorted(trace, key=lambda e: e[2]):
+            if kind == "enter":
+                entered[rank] = t
+            else:
+                intervals.append((entered.pop(rank), t))
+        intervals.sort()
+        for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2 + 1e-12
+
+    def test_fifo_granting_local(self):
+        m = Machine(2)
+        lock = m.make_lock(name="L")
+        order = []
+
+        def kernel(img):
+            lk = img.machine.lock_by_name("L")
+            for i in range(2):
+                yield from lk.acquire(img, 0)
+                order.append((img.rank, i))
+                yield from img.compute(1e-6)
+                lk.release(img, 0)
+
+        m.launch(kernel)
+        m.run()
+        assert len(order) == 4
+
+    def test_release_without_hold_is_error(self):
+        m = Machine(2)
+        lock = m.make_lock(name="L")
+        with pytest.raises(RuntimeError, match="not held"):
+            lock._release_at(0)
+
+    def test_is_held(self, spmd):
+        def setup(m):
+            m.make_lock(name="L")
+
+        def kernel(img):
+            lock = img.machine.lock_by_name("L")
+            if img.rank == 0:
+                yield from lock.acquire(img, 0)
+                assert lock.is_held(0)
+                lock.release(img, 0)
+                assert not lock.is_held(0)
+            yield from img.barrier()
+
+        spmd(kernel, n=2, setup=setup)
+
+    def test_locks_on_different_homes_are_independent(self, spmd):
+        def setup(m):
+            m.make_lock(name="L")
+
+        def kernel(img):
+            lock = img.machine.lock_by_name("L")
+            yield from lock.acquire(img, img.rank)  # my own lock word
+            yield from img.compute(1e-6)
+            lock.release(img, img.rank)
+            yield from img.barrier()
+            return img.now
+
+        m, results = spmd(kernel, n=4, setup=setup)
+        assert m.stats["lock.acquired"] == 4

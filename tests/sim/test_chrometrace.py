@@ -1,0 +1,108 @@
+"""Tests for the chrome-trace exporter and its runtime hooks."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sim.chrometrace import ChromeTracer
+from repro.runtime.program import Machine
+
+
+class TestTracerUnit:
+    def test_span_event_format(self):
+        tr = ChromeTracer()
+        tr.span(2, "compute", 1e-6, 2e-6, args={"k": 1})
+        (ev,) = tr.events
+        assert ev["ph"] == "X"
+        assert ev["tid"] == 2
+        assert ev["ts"] == pytest.approx(1.0)
+        assert ev["dur"] == pytest.approx(2.0)
+        assert ev["args"] == {"k": 1}
+
+    def test_instant_event(self):
+        tr = ChromeTracer()
+        tr.instant(0, "post", 5e-6)
+        assert tr.events[0]["ph"] == "i"
+
+    def test_flow_pairs(self):
+        tr = ChromeTracer()
+        tr.flow("spawn", 0, 1e-6, 3, 2e-6)
+        start, finish = tr.events
+        assert start["ph"] == "s" and finish["ph"] == "f"
+        assert start["id"] == finish["id"]
+        assert start["tid"] == 0 and finish["tid"] == 3
+
+    def test_flow_ids_unique(self):
+        tr = ChromeTracer()
+        tr.flow("a", 0, 0, 1, 1e-6)
+        tr.flow("b", 0, 0, 1, 1e-6)
+        ids = {e["id"] for e in tr.events}
+        assert len(ids) == 2
+
+    def test_disabled_tracer_records_nothing(self):
+        tr = ChromeTracer()
+        tr.enabled = False
+        tr.span(0, "x", 0, 1)
+        tr.instant(0, "y", 0)
+        tr.flow("z", 0, 0, 1, 1)
+        assert len(tr) == 0
+
+    def test_json_roundtrip(self, tmp_path):
+        tr = ChromeTracer()
+        tr.label_tracks(2)
+        tr.span(0, "compute", 0, 1e-6)
+        path = tmp_path / "trace.json"
+        tr.save(str(path))
+        data = json.loads(path.read_text())
+        assert "traceEvents" in data
+        assert any(e.get("ph") == "M" for e in data["traceEvents"])
+
+
+class TestRuntimeHooks:
+    def _traced_machine(self, kernel, n=3):
+        tracer = ChromeTracer()
+        machine = Machine(n, tracer=tracer)
+        machine.launch(kernel)
+        machine.run()
+        return tracer
+
+    def test_compute_spans_recorded(self):
+        def kernel(img):
+            yield from img.compute(2e-6)
+
+        tracer = self._traced_machine(kernel)
+        spans = [e for e in tracer.events if e.get("name") == "compute"]
+        assert len(spans) == 3
+        assert all(e["dur"] == pytest.approx(2.0) for e in spans)
+
+    def test_message_flows_recorded(self):
+        def remote(img):
+            yield from img.compute(1e-7)
+
+        def kernel(img):
+            yield from img.finish_begin()
+            if img.rank == 0:
+                yield from img.spawn(remote, 1)
+            yield from img.finish_end()
+
+        tracer = self._traced_machine(kernel)
+        flows = [e for e in tracer.events
+                 if e.get("cat") == "msg" and e["ph"] == "s"]
+        assert any(e["name"] == "spawn" for e in flows)
+        waves = [e for e in tracer.events if e.get("name") == "finish wave"]
+        assert waves  # the detector recorded its reduction waves
+
+    def test_tracing_does_not_change_results(self):
+        def kernel(img):
+            v = yield from img.allreduce(img.rank)
+            return v
+
+        plain = Machine(4)
+        plain.launch(kernel)
+        r1 = plain.run()
+        traced = Machine(4, tracer=ChromeTracer())
+        traced.launch(kernel)
+        r2 = traced.run()
+        assert r1 == r2
+        assert plain.sim.now == traced.sim.now

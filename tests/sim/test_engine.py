@@ -1,0 +1,128 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_initial_state():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.pending_events == 0
+    assert sim.events_processed == 0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, fired.append, "c")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_ties_broken_by_insertion_order():
+    sim = Simulator()
+    fired = []
+    for tag in range(10):
+        sim.schedule(1.0, fired.append, tag)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_call_soon_runs_after_queued_events_at_same_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.0, fired.append, "first")
+    sim.call_soon(fired.append, "second")
+    sim.run()
+    assert fired == ["first", "second"]
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append(("outer", sim.now))
+        sim.schedule(0.5, inner)
+
+    def inner():
+        fired.append(("inner", sim.now))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert fired == [("outer", 1.0), ("inner", 1.5)]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_into_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_run_until_stops_clock_at_horizon():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(10.0, fired.append, "b")
+    sim.run(until=5.0)
+    assert fired == ["a"]
+    assert sim.now == 5.0
+    # The late event survives and fires on resume.
+    sim.run()
+    assert fired == ["a", "b"]
+    assert sim.now == 10.0
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def pingpong():
+        sim.schedule(1.0, pingpong)
+
+    sim.schedule(0.0, pingpong)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=100)
+
+
+def test_event_cancellation():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, fired.append, "cancelled")
+    sim.schedule(2.0, fired.append, "kept")
+    ev.cancel()
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_events_processed_counts():
+    sim = Simulator()
+    for _ in range(7):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 7
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    seen = []
+
+    def reenter():
+        with pytest.raises(SimulationError, match="reentrant"):
+            sim.run()
+        seen.append(True)
+
+    sim.schedule(0.0, reenter)
+    sim.run()
+    assert seen == [True]

@@ -1,0 +1,112 @@
+"""Unit tests for rng streams and tracing probes."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngPool
+from repro.sim.trace import IntervalAccumulator, Probe, Stats
+
+
+class TestRngPool:
+    def test_reproducible_across_pools(self):
+        a = RngPool(seed=7, n_streams=4)
+        b = RngPool(seed=7, n_streams=4)
+        for i in range(4):
+            assert np.array_equal(a[i].integers(0, 1000, 16), b[i].integers(0, 1000, 16))
+
+    def test_streams_are_independent(self):
+        pool = RngPool(seed=7, n_streams=2)
+        x = pool[0].integers(0, 2**31, 64)
+        y = pool[1].integers(0, 2**31, 64)
+        assert not np.array_equal(x, y)
+
+    def test_different_seeds_differ(self):
+        a = RngPool(seed=1, n_streams=1)
+        b = RngPool(seed=2, n_streams=1)
+        assert not np.array_equal(a[0].integers(0, 2**31, 64), b[0].integers(0, 2**31, 64))
+
+    def test_out_of_range_index(self):
+        pool = RngPool(seed=0, n_streams=2)
+        with pytest.raises(IndexError):
+            pool[2]
+        with pytest.raises(IndexError):
+            pool[-1]
+
+    def test_invalid_stream_count(self):
+        with pytest.raises(ValueError):
+            RngPool(seed=0, n_streams=0)
+
+
+class TestStats:
+    def test_incr_and_read(self):
+        s = Stats()
+        s.incr("a.b")
+        s.incr("a.b", 4)
+        assert s["a.b"] == 5
+        assert s["missing"] == 0
+        assert "a.b" in s
+        assert "missing" not in s
+
+    def test_with_prefix(self):
+        s = Stats()
+        s.incr("net.sent", 3)
+        s.incr("net.recv", 2)
+        s.incr("finish.rounds", 1)
+        assert s.with_prefix("net.") == {"net.sent": 3, "net.recv": 2}
+
+    def test_keys_sorted(self):
+        s = Stats()
+        s.incr("z")
+        s.incr("a")
+        assert list(s.keys()) == ["a", "z"]
+
+
+class TestProbe:
+    def test_record_and_summary(self):
+        p = Probe("lat")
+        for t, v in [(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)]:
+            p.record(t, v)
+        s = p.summary()
+        assert s["count"] == 3
+        assert s["min"] == 1.0
+        assert s["max"] == 3.0
+        assert s["mean"] == 2.0
+        assert s["sum"] == 6.0
+
+    def test_empty_summary(self):
+        assert Probe().summary() == {"count": 0}
+
+    def test_arrays(self):
+        p = Probe()
+        p.record(1.0, 10.0)
+        assert p.times.tolist() == [1.0]
+        assert p.values.tolist() == [10.0]
+
+
+class TestIntervalAccumulator:
+    def test_busy_accumulation(self):
+        acc = IntervalAccumulator(3)
+        acc.add(0, 2.0)
+        acc.add(0, 1.0)
+        acc.add(2, 3.0)
+        assert acc.busy.tolist() == [3.0, 0.0, 3.0]
+        assert acc.total() == 6.0
+
+    def test_relative_fractions(self):
+        acc = IntervalAccumulator(2)
+        acc.add(0, 1.0)
+        acc.add(1, 3.0)
+        assert acc.relative_fractions().tolist() == [0.5, 1.5]
+
+    def test_relative_fractions_all_zero(self):
+        acc = IntervalAccumulator(4)
+        assert acc.relative_fractions().tolist() == [1.0] * 4
+
+    def test_negative_duration_rejected(self):
+        acc = IntervalAccumulator(1)
+        with pytest.raises(ValueError):
+            acc.add(0, -1.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            IntervalAccumulator(0)
