@@ -1,0 +1,51 @@
+"""Ablation — retransmission overhead of the reliable transport vs the
+injected drop rate.
+
+The reliable protocol's cost model: each lost transmission is healed by
+a retransmission no earlier than one RTO (``rto_safety`` × the nominal
+round trip) after the original injection, so the simulated run time
+grows with the drop rate while the application-level results stay
+identical to the clean run.  This benchmark regenerates the `chaos`
+harness table and checks both halves of that claim.
+"""
+
+from repro.harness import chaos_resilience
+from repro.net.faults import FaultPlan
+from repro.net.topology import MachineParams
+from repro.apps.uts import TreeParams, UTSConfig, run_uts
+
+
+def test_fault_rate_ablation(once):
+    results = once(chaos_resilience, drop_rates=(0.0, 0.02, 0.05, 0.1),
+                   n_images=8)
+    for rate, row in results.items():
+        assert row["uts_ok"], f"UTS diverged at drop rate {rate}"
+        assert row["ra_ok"], f"RandomAccess lost updates at drop rate {rate}"
+        if rate == 0.0:
+            assert row["retransmits"] == 0 and row["drops"] == 0
+        else:
+            assert row["drops"] > 0
+            assert row["retransmits"] >= row["drops"] - row["dups"]
+    # Retransmission pressure rises with the drop rate.
+    assert results[0.1]["retransmits"] > results[0.02]["retransmits"]
+
+
+def test_retransmit_overhead_grows_with_drop_rate(benchmark):
+    """Run time under faults is bounded below by the clean run and
+    grows as more messages need a second (or third) trip."""
+    tree = TreeParams(b0=4, max_depth=7, seed=19)
+    config = UTSConfig(tree=tree, node_cost=5e-7)
+
+    def run():
+        times = {}
+        for rate in (0.0, 0.05, 0.2):
+            faults = FaultPlan(drop=rate, seed=7) if rate else None
+            r = run_uts(8, config,
+                        params=MachineParams.uniform(8, reliable=True),
+                        seed=7, faults=faults)
+            times[rate] = r.sim_time
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert times[0.05] > times[0.0]
+    assert times[0.2] > times[0.05]

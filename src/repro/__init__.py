@@ -19,12 +19,15 @@ Quick start::
     machine, results = run_spmd(kernel, n_images=8)
 """
 
+from repro.net.faults import FaultPlan, NicStall
 from repro.net.topology import (
     MachineParams,
     UniformTopology,
     HierarchicalTopology,
     HypercubeTopology,
 )
+from repro.net.transport import RetryExhaustedError
+from repro.sim.engine import LivenessError
 from repro.runtime import (
     ANY,
     READ,
@@ -45,6 +48,10 @@ from repro.core.completion import AsyncOp
 __version__ = "1.0.0"
 
 __all__ = [
+    "FaultPlan",
+    "NicStall",
+    "RetryExhaustedError",
+    "LivenessError",
     "MachineParams",
     "UniformTopology",
     "HierarchicalTopology",

@@ -94,7 +94,8 @@ def pc_kernel(img, config: PCConfig) -> Generator[Any, Any, float]:
 
 
 def run_producer_consumer(n_images: int, config: Optional[PCConfig] = None,
-                          params=None, seed: int = 0) -> PCResult:
+                          params=None, seed: int = 0,
+                          faults=None) -> PCResult:
     """Run one variant; returns the simulated execution time."""
     from repro.runtime.program import run_spmd
 
@@ -105,7 +106,8 @@ def run_producer_consumer(n_images: int, config: Optional[PCConfig] = None,
         machine.make_event(name="pc_ev")
 
     machine, results = run_spmd(pc_kernel, n_images, params=params,
-                                seed=seed, args=(config,), setup=setup)
+                                seed=seed, args=(config,), setup=setup,
+                                faults=faults)
     return PCResult(
         sim_time=max(results),
         variant=config.variant,

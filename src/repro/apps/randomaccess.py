@@ -130,6 +130,10 @@ class RAResult:
     #: update stream (HPCC verification; nonzero = racy updates lost).
     #: None when verification was not requested.
     errors: Optional[int] = None
+    #: chaos-mode transport counters (zero on a clean network)
+    retransmits: int = 0
+    drops: int = 0
+    dups: int = 0
 
     @property
     def error_rate(self) -> Optional[float]:
@@ -242,7 +246,7 @@ def reference_table(n_images: int, config: RAConfig) -> np.ndarray:
 
 def run_randomaccess(n_images: int, config: Optional[RAConfig] = None,
                      params=None, seed: int = 0,
-                     verify: bool = False) -> RAResult:
+                     verify: bool = False, faults=None) -> RAResult:
     """Run RandomAccess; returns timing and the table checksum.
 
     With ``verify=True`` the final table is compared against a
@@ -266,7 +270,8 @@ def run_randomaccess(n_images: int, config: Optional[RAConfig] = None,
                 r * local_size, (r + 1) * local_size, dtype=np.uint64)
 
     machine, blocks = run_spmd(ra_kernel, n_images, params=params,
-                               seed=seed, args=(config,), setup=setup)
+                               seed=seed, args=(config,), setup=setup,
+                               faults=faults)
     table = machine.coarray_by_name("ra_table")
     checksum = 0
     for r in range(n_images):
@@ -287,4 +292,7 @@ def run_randomaccess(n_images: int, config: Optional[RAConfig] = None,
         checksum=checksum,
         finish_blocks=sum(blocks),
         errors=errors,
+        retransmits=machine.stats["net.retransmits"],
+        drops=machine.stats["net.drops"],
+        dups=machine.stats["net.dups"],
     )

@@ -145,6 +145,10 @@ class UTSResult:
     steals_successful: int
     lifeline_pushes: int
     finish_rounds: int
+    #: chaos-mode transport counters (zero on a clean network)
+    retransmits: int = 0
+    drops: int = 0
+    dups: int = 0
 
 
 class _UTSState:
@@ -341,13 +345,13 @@ def uts_kernel(img, config: UTSConfig) -> Generator[Any, Any, int]:
 
 
 def run_uts(n_images: int, config: Optional[UTSConfig] = None,
-            params=None, seed: int = 0) -> UTSResult:
+            params=None, seed: int = 0, faults=None) -> UTSResult:
     """Run the distributed UTS benchmark; returns measurements."""
     from repro.runtime.program import run_spmd
 
     config = config if config is not None else UTSConfig()
     machine, per_image = run_spmd(uts_kernel, n_images, params=params,
-                                  seed=seed, args=(config,))
+                                  seed=seed, args=(config,), faults=faults)
     return UTSResult(
         total_nodes=sum(per_image),
         sim_time=machine.sim.now,
@@ -357,4 +361,7 @@ def run_uts(n_images: int, config: Optional[UTSConfig] = None,
         steals_successful=machine.stats["uts.steals_successful"],
         lifeline_pushes=machine.stats["uts.lifeline_pushes"],
         finish_rounds=machine.scratch["uts.finish_rounds"],
+        retransmits=machine.stats["net.retransmits"],
+        drops=machine.stats["net.drops"],
+        dups=machine.stats["net.dups"],
     )

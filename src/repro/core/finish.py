@@ -180,10 +180,94 @@ class FinishFrame:
         self.c_completed += 1
         self.cond.wake()
 
+    def snapshot(self) -> dict:
+        """Counter snapshot for liveness diagnostics (see
+        :func:`stall_report`)."""
+        return {
+            "image": self.world_rank,
+            "key": self.key,
+            "phase": "odd" if self.in_odd else "even",
+            "even": {"sent": self.even.sent,
+                     "delivered": self.even.delivered,
+                     "received": self.even.received,
+                     "completed": self.even.completed},
+            "odd": {"sent": self.odd.sent,
+                    "delivered": self.odd.delivered,
+                    "received": self.odd.received,
+                    "completed": self.odd.completed},
+            "cumulative": {"sent": self.c_sent,
+                           "delivered": self.c_delivered,
+                           "received": self.c_received,
+                           "completed": self.c_completed},
+            "rounds": self.rounds,
+            "waiters": self.cond.waiting,
+        }
+
     def __repr__(self) -> str:
         return (f"<FinishFrame {self.key}@{self.world_rank} "
                 f"{'odd' if self.in_odd else 'even'} even={self.even} "
                 f"odd={self.odd}>")
+
+
+# --------------------------------------------------------------------- #
+# Liveness diagnostics
+# --------------------------------------------------------------------- #
+
+def _fmt_epoch(name: str, e: Epoch) -> str:
+    return (f"{name}(sent={e.sent}, delivered={e.delivered}, "
+            f"received={e.received}, completed={e.completed})")
+
+
+def stall_report(machine, blocked: list) -> str:
+    """The liveness watchdog's diagnostic: which images stalled, and the
+    finish-counter evidence of *why* (typically ``sent > delivered`` on
+    a frame whose counted message was lost by an unreliable network).
+
+    Called by :meth:`Machine._liveness_check` when the event queue
+    drains with main programs still blocked and the network has dropped
+    traffic."""
+    net = machine.network
+    stats = machine.stats
+    lines = [
+        f"quiescence without completion at t={machine.sim.now:.6f}s: "
+        f"blocked main programs {blocked}",
+        f"  network: reliable={'on' if machine.params.reliable else 'OFF'} "
+        f"drops={stats['net.drops']} ack_drops={stats['net.ack_drops']} "
+        f"dups={stats['net.dups']} retransmits={stats['net.retransmits']}",
+    ]
+    for rec in net.lost[:8]:
+        lines.append(f"  lost: {rec}")
+    if len(net.lost) > 8:
+        lines.append(f"  ... and {len(net.lost) - 8} more lost messages")
+    for rec in net.unacked()[:8]:
+        lines.append(f"  unacked: {rec}")
+    for (rank, key), frame in sorted(machine._frames.items()):
+        interesting = (frame.cond.waiting > 0
+                       or not frame.even.locally_quiet()
+                       or not frame.odd.locally_quiet()
+                       or frame.in_odd)
+        if not interesting:
+            continue
+        lines.append(
+            f"  image {rank} finish{key}: phase={'odd' if frame.in_odd else 'even'} "
+            f"{_fmt_epoch('even', frame.even)} {_fmt_epoch('odd', frame.odd)} "
+            f"rounds={frame.rounds} waiters={frame.cond.waiting}"
+        )
+    stalled_colls = [
+        key for key, state in sorted(machine._coll_states.items())
+        if getattr(getattr(state, "down", None), "done", True) is False
+    ]
+    if stalled_colls:
+        lines.append(
+            "  stalled collectives (rank, team, seq): "
+            + ", ".join(map(str, stalled_colls[:8]))
+            + (" ..." if len(stalled_colls) > 8 else "")
+        )
+    lines.append(
+        "  hint: enable MachineParams.reliable to retransmit lost "
+        "messages, or remove the FaultPlan"
+    )
+    return "\n".join(lines)
 
 
 # --------------------------------------------------------------------- #

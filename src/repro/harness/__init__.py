@@ -17,6 +17,7 @@ from repro.harness.experiments import (
     ablation_detectors,
     ablation_tree_radix,
     ablation_steal_chunk,
+    chaos_resilience,
 )
 
 __all__ = [
@@ -33,4 +34,5 @@ __all__ = [
     "ablation_detectors",
     "ablation_tree_radix",
     "ablation_steal_chunk",
+    "chaos_resilience",
 ]

@@ -20,6 +20,7 @@ from repro.harness import (
     ablation_detectors,
     ablation_steal_chunk,
     ablation_tree_radix,
+    chaos_resilience,
     fig05_barrier_failure,
     fig12_cofence_micro,
     fig13_randomaccess_scaling,
@@ -67,6 +68,11 @@ EXPERIMENTS = {
         medium_sizes=(80, 256) if quick else (80, 256, 800),
         n_images=4 if quick else 16,
         tree=_QUICK_TREE if quick else None)),
+    "chaos": (lambda quick: chaos_resilience(
+        drop_rates=(0.0, 0.05) if quick else (0.0, 0.02, 0.05, 0.1),
+        n_images=4 if quick else 8,
+        tree=_QUICK_TREE if quick else None,
+        updates_per_image=16 if quick else 64)),
 }
 
 

@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.net.faults import FaultPlan
 from repro.net.topology import MachineParams
 from repro.runtime.program import run_spmd
 from repro.apps.producer_consumer import PCConfig, run_producer_consumer
@@ -435,5 +436,64 @@ def ablation_steal_chunk(medium_sizes: Sequence[int] = (80, 256, 800),
         for cap, row in results.items():
             table.add_row([cap, row["chunk"],
                            format_seconds(row["sim_time"]), row["steals"]])
+        table.print()
+    return results
+
+
+def chaos_resilience(drop_rates: Sequence[float] = (0.0, 0.02, 0.05, 0.1),
+                     n_images: int = 8,
+                     tree: Optional[TreeParams] = None,
+                     updates_per_image: int = 64,
+                     seed: int = 0, quiet: bool = False) -> dict:
+    """UTS and RandomAccess on an unreliable network with the reliable
+    transport: application results must match the clean-network run at
+    every drop rate, with the retransmission traffic as the price.
+    """
+    tree = tree if tree is not None else TreeParams(b0=4, max_depth=7,
+                                                    seed=19)
+    uts_config = UTSConfig(tree=tree, node_cost=5e-7)
+    ra_config = RAConfig(log2_local_table=8,
+                         updates_per_image=updates_per_image)
+    expected_nodes = sequential_tree_size(tree)
+
+    results = {}
+    for rate in drop_rates:
+        faults = (FaultPlan(drop=rate, duplicate=rate / 2, seed=seed)
+                  if rate > 0 else None)
+        uts = run_uts(n_images, uts_config,
+                      params=MachineParams.uniform(n_images, reliable=True),
+                      seed=seed, faults=faults)
+        faults = (FaultPlan(drop=rate, duplicate=rate / 2, seed=seed)
+                  if rate > 0 else None)
+        ra = run_randomaccess(n_images, ra_config,
+                              params=MachineParams.uniform(n_images,
+                                                           reliable=True),
+                              seed=seed, verify=True, faults=faults)
+        results[rate] = {
+            "uts_ok": uts.total_nodes == expected_nodes,
+            "uts_time": uts.sim_time,
+            "ra_ok": ra.errors == 0,
+            "ra_time": ra.sim_time,
+            "retransmits": uts.retransmits + ra.retransmits,
+            "drops": uts.drops + ra.drops,
+            "dups": uts.dups + ra.dups,
+        }
+
+    if not quiet:
+        table = Table(
+            f"Chaos — UTS + RandomAccess under injected faults "
+            f"({n_images} images, reliable transport)",
+            ["drop rate", "UTS ok", "RA ok", "retransmits", "drops",
+             "dups", "UTS time", "RA time"],
+        )
+        for rate, row in results.items():
+            table.add_row([
+                rate,
+                "yes" if row["uts_ok"] else "NO",
+                "yes" if row["ra_ok"] else "NO",
+                row["retransmits"], row["drops"], row["dups"],
+                format_seconds(row["uts_time"]),
+                format_seconds(row["ra_time"]),
+            ])
         table.print()
     return results

@@ -1,0 +1,246 @@
+"""Deterministic network fault injection.
+
+A :class:`FaultPlan` describes how the simulated interconnect misbehaves.
+:class:`~repro.net.transport.Network` consults the plan on every wire
+transmission and every acknowledgment, so with a plan installed the
+machine exercises exactly the hostile-network conditions the paper's
+termination detector must tolerate (lost counter messages, duplicated
+deliveries, reordering beyond the latency jitter already modelled).
+
+Every decision is driven by one :class:`numpy.random.Generator` owned by
+the plan, so a run with the same plan seed (or the same machine seed,
+when the plan is left unseeded and the machine derives one from its
+:class:`~repro.sim.rng.RngPool`) replays the identical fault sequence —
+chaos runs are as reproducible as clean ones.
+
+Fault classes
+-------------
+- *drops*: each wire transmission of a remote message is lost with
+  probability ``drop`` (overridable per directed link via ``link_drop``);
+  acknowledgments are lost with probability ``ack_drop``.
+- *duplication*: a transmission that survives the drop roll is delivered
+  twice with probability ``duplicate``; the copy arrives later by a
+  random fraction of the wire latency.
+- *reorder*: every transmission gains an extra delay uniform in
+  ``[0, reorder * latency)``, reordering messages between a pair far
+  more aggressively than ``MachineParams.jitter`` alone.
+- *NIC stalls*: during a :class:`NicStall` window an image's NIC injects
+  nothing; sends scheduled inside the window wait for its end.
+- *scripted drops*: :meth:`FaultPlan.drop_nth` kills the N-th message of
+  a given ``kind`` (its first transmission only — retransmissions pass),
+  for surgical regression tests such as "lose the first ``coll.up`` of
+  the termination wave".
+
+Loopback messages (``src == dst``) never fault: they model in-memory
+hand-off, not wire traffic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+__all__ = ["FaultPlan", "NicStall"]
+
+
+@dataclass(frozen=True)
+class NicStall:
+    """A window during which one image's NIC injects nothing."""
+
+    image: int
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.image < 0:
+            raise ValueError(f"negative image {self.image}")
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError(
+                f"stall window needs start >= 0 and duration > 0, got "
+                f"start={self.start!r} duration={self.duration!r}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+def _check_prob(name: str, value: float) -> float:
+    value = float(value)
+    if not 0.0 <= value < 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1), got "
+                         f"{value!r}")
+    return value
+
+
+class FaultPlan:
+    """A reproducible script of network misbehaviour.
+
+    Parameters
+    ----------
+    drop:
+        Default per-transmission drop probability for remote messages.
+    duplicate:
+        Probability a surviving transmission is delivered twice.
+    reorder:
+        Extra delay factor: each transmission is delayed by an extra
+        uniform ``[0, reorder * latency)`` (0 disables).
+    ack_drop:
+        Drop probability for protocol acknowledgments; defaults to
+        ``drop``.
+    link_drop:
+        Per-directed-link overrides, ``{(src, dst): probability}``.
+    stalls:
+        Iterable of :class:`NicStall` windows.
+    seed:
+        Seed for the plan's random stream.  ``None`` (default) lets the
+        machine derive the stream from its own seed, so chaos varies
+        with ``Machine(seed=...)`` exactly like image rngs do.
+
+    A plan holds mutable per-run state (rng position, per-kind message
+    counts); build a fresh plan — or :meth:`clone` one — per simulation
+    run.
+    """
+
+    def __init__(self, drop: float = 0.0, duplicate: float = 0.0,
+                 reorder: float = 0.0,
+                 ack_drop: Optional[float] = None,
+                 link_drop: Optional[dict] = None,
+                 stalls: Iterable[NicStall] = (),
+                 seed: Optional[int] = None):
+        self.drop = _check_prob("drop", drop)
+        self.duplicate = _check_prob("duplicate", duplicate)
+        self.reorder = float(reorder)
+        if self.reorder < 0:
+            raise ValueError(f"reorder must be non-negative, got {reorder!r}")
+        self.ack_drop = (self.drop if ack_drop is None
+                         else _check_prob("ack_drop", ack_drop))
+        self.link_drop = {}
+        for link, p in (link_drop or {}).items():
+            src, dst = link
+            self.link_drop[(int(src), int(dst))] = _check_prob(
+                f"link_drop[{link}]", p)
+        self.stalls = tuple(stalls)
+        for stall in self.stalls:
+            if not isinstance(stall, NicStall):
+                raise TypeError(f"stalls must be NicStall, got {stall!r}")
+        self.seed = seed
+        self._rng: Optional[np.random.Generator] = None
+        self._scripted: set[tuple[str, int]] = set()
+        self._kind_counts: dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    def drop_nth(self, kind: str, n: Union[int, Iterable[int]]) -> "FaultPlan":
+        """Script a targeted loss: drop the ``n``-th message (1-based)
+        of ``kind`` on its first transmission.  Chainable; ``n`` may be
+        one index or an iterable of indices."""
+        indices = (n,) if isinstance(n, int) else tuple(n)
+        for i in indices:
+            if i < 1:
+                raise ValueError(f"message indices are 1-based, got {i}")
+            self._scripted.add((kind, int(i)))
+        return self
+
+    def clone(self) -> "FaultPlan":
+        """A fresh plan with identical configuration and virgin per-run
+        state (rng position, kind counts)."""
+        plan = FaultPlan(drop=self.drop, duplicate=self.duplicate,
+                         reorder=self.reorder, ack_drop=self.ack_drop,
+                         link_drop=dict(self.link_drop), stalls=self.stalls,
+                         seed=self.seed)
+        plan._scripted = set(self._scripted)
+        return plan
+
+    def bind(self, rng: np.random.Generator) -> None:
+        """Install the random stream (the machine calls this to derive
+        fault decisions from its master seed when the plan is unseeded)."""
+        self._rng = rng
+
+    @property
+    def rng(self) -> np.random.Generator:
+        if self._rng is None:
+            self._rng = np.random.default_rng(
+                np.random.SeedSequence(0 if self.seed is None else self.seed))
+        return self._rng
+
+    @property
+    def active(self) -> bool:
+        """Whether the plan can fault anything at all."""
+        return bool(self.drop or self.duplicate or self.reorder
+                    or self.ack_drop or self.link_drop or self.stalls
+                    or self._scripted)
+
+    # ------------------------------------------------------------------ #
+    # Decisions (one call per transmission / ack, in simulation order)
+    # ------------------------------------------------------------------ #
+
+    def take_scripted_drop(self, kind: str) -> bool:
+        """Count one original send of ``kind``; True if its index was
+        scripted to drop.  Called exactly once per message (not per
+        retransmission)."""
+        self._kind_counts[kind] += 1
+        return (kind, self._kind_counts[kind]) in self._scripted
+
+    def drop_probability(self, src: int, dst: int) -> float:
+        return self.link_drop.get((src, dst), self.drop)
+
+    def roll_drop(self, src: int, dst: int) -> bool:
+        p = self.drop_probability(src, dst)
+        return p > 0.0 and float(self.rng.random()) < p
+
+    def roll_duplicate(self) -> bool:
+        return (self.duplicate > 0.0
+                and float(self.rng.random()) < self.duplicate)
+
+    def roll_ack_drop(self, src: int, dst: int) -> bool:
+        return (self.ack_drop > 0.0
+                and float(self.rng.random()) < self.ack_drop)
+
+    def extra_latency(self, latency: float) -> float:
+        """Reorder jitter: an extra delay in ``[0, reorder * latency)``."""
+        if self.reorder <= 0.0:
+            return 0.0
+        return latency * self.reorder * float(self.rng.random())
+
+    def duplicate_lag(self, latency: float) -> float:
+        """How far behind the original the duplicate copy arrives."""
+        return latency * (0.1 + 0.9 * float(self.rng.random()))
+
+    def release_time(self, image: int, t: float) -> float:
+        """Earliest time ``image``'s NIC may inject at or after ``t``
+        (pushed past any stall window containing it)."""
+        released = t
+        # windows may chain; iterate until no window contains the time
+        moved = True
+        while moved:
+            moved = False
+            for stall in self.stalls:
+                if stall.image == image and stall.start <= released < stall.end:
+                    released = stall.end
+                    moved = True
+        return released
+
+    # ------------------------------------------------------------------ #
+
+    def describe(self) -> str:
+        parts = [f"drop={self.drop}", f"duplicate={self.duplicate}"]
+        if self.reorder:
+            parts.append(f"reorder={self.reorder}")
+        if self.ack_drop != self.drop:
+            parts.append(f"ack_drop={self.ack_drop}")
+        if self.link_drop:
+            parts.append(f"link_drop={self.link_drop}")
+        if self.stalls:
+            parts.append(f"stalls={len(self.stalls)}")
+        if self._scripted:
+            parts.append(f"scripted={sorted(self._scripted)}")
+        parts.append(f"seed={self.seed}")
+        return f"FaultPlan({', '.join(parts)})"
+
+    __repr__ = describe

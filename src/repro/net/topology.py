@@ -209,6 +209,20 @@ class MachineParams:
     flow_stall_penalty:
         Retry-cycle cost charged per stall, scaled by the length of the
         consecutive-stall run (see :mod:`repro.net.flowcontrol`).
+    reliable:
+        Run the reliable-delivery protocol (link sequence numbers, acks,
+        retransmission, receiver-side duplicate suppression) above the
+        wire.  Off by default: the perfect interconnect needs none of it
+        and the protocol's bookkeeping would only slow simulation down.
+    retry_cap:
+        Retransmissions allowed per message before the transport raises
+        :class:`~repro.net.transport.RetryExhaustedError`.
+    rto_safety:
+        First retransmission timeout as a multiple of the message's
+        nominal round trip (injection + wire + ``o_recv`` + ack return).
+        Must exceed 1 or clean-network sends would spuriously retransmit.
+    rto_backoff:
+        Exponential backoff factor applied to the timeout per retry.
     """
 
     topology: Topology
@@ -221,6 +235,10 @@ class MachineParams:
     flow_credits: int | None = None
     flow_credit_scope: str = "pair"
     flow_stall_penalty: float = 2.0e-7
+    reliable: bool = False
+    retry_cap: int = 10
+    rto_safety: float = 4.0
+    rto_backoff: float = 2.0
 
     def __post_init__(self) -> None:
         _validate_positive("bandwidth", self.bandwidth)
@@ -236,6 +254,13 @@ class MachineParams:
             raise ValueError("flow_credit_scope must be 'pair' or 'source'")
         if self.flow_stall_penalty < 0:
             raise ValueError("flow_stall_penalty must be non-negative")
+        if self.retry_cap < 0:
+            raise ValueError("retry_cap must be non-negative")
+        if self.rto_safety <= 1.0:
+            raise ValueError("rto_safety must exceed 1 (else clean sends "
+                             "would spuriously retransmit)")
+        if self.rto_backoff < 1.0:
+            raise ValueError("rto_backoff must be at least 1")
 
     @property
     def n_images(self) -> int:

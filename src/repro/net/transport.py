@@ -15,6 +15,31 @@ Cost model per message (see :class:`repro.net.topology.MachineParams`):
 4. *Ack* (optional): a NIC-level acknowledgment arrives back at the sender
    ``ack_latency_factor * latency`` later — the transport-level "local
    operation completion" event.
+
+Fault injection and reliability
+-------------------------------
+A :class:`~repro.net.faults.FaultPlan` turns the perfect interconnect
+hostile: transmissions drop, duplicate, stall at the NIC, and reorder
+beyond the baseline jitter.  With ``MachineParams.reliable`` the network
+runs a reliable-delivery protocol above the faulty wire:
+
+- every data transmission carries a per-``(src, dst)`` link sequence
+  number;
+- the receiver suppresses duplicates (``on_deliver`` and AM handlers run
+  **exactly once** per message) and acknowledges every copy, so a lost
+  ack is healed by the retransmission it provokes;
+- the sender retransmits unacknowledged messages on an exponentially
+  backed-off timer (``rto_safety`` × the message's nominal round trip,
+  doubled by ``rto_backoff`` per attempt) and gives up with
+  :class:`RetryExhaustedError` after ``retry_cap`` retries.
+
+``DeliveryReceipt.delivered`` then means "the protocol-level ack for a
+delivered copy reached the sender" — with a clean network this is the
+same instant as the NIC-level ack of the unreliable model, so enabling
+reliability does not move any completion time until faults actually
+strike.  Retransmits, drops and duplicates are counted in ``Stats``
+(``net.retransmits`` / ``net.drops`` / ``net.dups`` / ...) and surfaced
+in the chrome trace as instant events.
 """
 
 from __future__ import annotations
@@ -28,22 +53,30 @@ from repro.sim.engine import Simulator
 from repro.sim.tasks import Future
 from repro.sim.trace import Stats
 from repro.net.topology import MachineParams
+from repro.net.faults import FaultPlan
+
+
+class RetryExhaustedError(RuntimeError):
+    """The reliable transport gave up on a message: every transmission
+    (original plus ``retry_cap`` retries) was lost."""
 
 
 class Message:
     """One message in flight.  ``payload`` is arbitrary Python data whose
-    simulated footprint is ``size`` bytes (we model cost, not encoding)."""
+    simulated footprint is ``size`` bytes (we model cost, not encoding).
+
+    ``seq`` is assigned by the :class:`Network` that sends the message —
+    a per-network counter, so back-to-back simulations in one process
+    number (and tie-break) their messages identically."""
 
     __slots__ = ("seq", "src", "dst", "size", "payload", "kind", "on_deliver")
-
-    _seq = itertools.count()
 
     def __init__(self, src: int, dst: int, size: int, payload: Any,
                  kind: str = "msg",
                  on_deliver: Optional[Callable[["Message"], None]] = None):
         if size < 0:
             raise ValueError(f"negative message size {size}")
-        self.seq = next(Message._seq)
+        self.seq: Optional[int] = None
         self.src = src
         self.dst = dst
         self.size = size
@@ -52,7 +85,8 @@ class Message:
         self.on_deliver = on_deliver
 
     def __repr__(self) -> str:
-        return (f"<Message #{self.seq} {self.kind} {self.src}->{self.dst} "
+        seq = "?" if self.seq is None else self.seq
+        return (f"<Message #{seq} {self.kind} {self.src}->{self.dst} "
                 f"{self.size}B>")
 
 
@@ -78,21 +112,90 @@ class DeliveryReceipt:
         self.delivered = Future(f"msg{message.seq}.delivered") if want_ack else None
 
 
+class _PendingSend:
+    """Sender-side state of one reliably-sent message."""
+
+    __slots__ = ("msg", "receipt", "link", "lseq", "attempt", "acked",
+                 "timer", "scripted_drop", "rto0")
+
+    def __init__(self, msg: Message, receipt: DeliveryReceipt,
+                 link: tuple, lseq: int, scripted_drop: bool, rto0: float):
+        self.msg = msg
+        self.receipt = receipt
+        self.link = link
+        self.lseq = lseq
+        self.attempt = 0          # retransmissions performed so far
+        self.acked = False
+        self.timer = None
+        self.scripted_drop = scripted_drop  # consume on first transmission
+        self.rto0 = rto0
+
+
+class _RxState:
+    """Receiver-side duplicate suppression for one directed link: all
+    link seqs below ``upto`` were delivered; ``seen`` holds the
+    out-of-order ones above it."""
+
+    __slots__ = ("upto", "seen")
+
+    def __init__(self) -> None:
+        self.upto = 0
+        self.seen: set[int] = set()
+
+    def record(self, lseq: int) -> bool:
+        """Mark ``lseq`` delivered; True if it was already seen."""
+        if lseq < self.upto or lseq in self.seen:
+            return True
+        self.seen.add(lseq)
+        while self.upto in self.seen:
+            self.seen.discard(self.upto)
+            self.upto += 1
+        return False
+
+
 class Network:
-    """The interconnect: owns per-image NIC state and delivers messages."""
+    """The interconnect: owns per-image NIC state and delivers messages.
+
+    Parameters
+    ----------
+    faults:
+        Optional :class:`FaultPlan` consulted on every transmission and
+        acknowledgment.
+    seed:
+        Fallback seed for internally-created random streams (jitter,
+        unbound fault plans); a machine passes its master seed so every
+        stream varies with ``seed=`` as documented.
+    """
 
     def __init__(self, sim: Simulator, params: MachineParams,
                  stats: Optional[Stats] = None,
                  jitter_rng: Optional[np.random.Generator] = None,
-                 tracer=None):
+                 tracer=None,
+                 faults: Optional[FaultPlan] = None,
+                 seed: Optional[int] = None):
         self.sim = sim
         self.params = params
         self.stats = stats if stats is not None else Stats()
         self.tracer = tracer
         self._nic_free_at = np.zeros(params.n_images, dtype=np.float64)
         if params.jitter > 0.0 and jitter_rng is None:
-            jitter_rng = np.random.default_rng(0xC0FFEE)
+            jitter_rng = np.random.default_rng(
+                np.random.SeedSequence(0xC0FFEE if seed is None else seed))
         self._jitter_rng = jitter_rng
+        self.faults = faults
+        if faults is not None and faults.seed is None and faults._rng is None:
+            faults.bind(np.random.default_rng(
+                np.random.SeedSequence(0xFA117 if seed is None else seed)))
+        #: per-network message sequence (reproducible across back-to-back
+        #: simulations in one process)
+        self._msg_seq = itertools.count()
+        # reliable-protocol state
+        self._tx_next: dict[tuple, int] = {}
+        self._tx_pending: dict[tuple, _PendingSend] = {}
+        self._rx_states: dict[tuple, _RxState] = {}
+        #: short human-readable records of lost transmissions (bounded;
+        #: the liveness watchdog quotes these in its diagnostic)
+        self.lost: list[str] = []
 
     # ------------------------------------------------------------------ #
 
@@ -103,39 +206,222 @@ class Network:
         job.  Returns a :class:`DeliveryReceipt`.
         """
         p = self.params
+        msg.seq = next(self._msg_seq)
         receipt = DeliveryReceipt(msg, want_ack)
 
-        start = max(self.sim.now, float(self._nic_free_at[msg.src]))
-        inject_end = start + p.o_send + p.transfer_time(msg.size)
-        self._nic_free_at[msg.src] = inject_end
-
-        lat = p.topology.latency(msg.src, msg.dst)
-        if p.jitter > 0.0:
-            lat *= 1.0 + p.jitter * float(self._jitter_rng.uniform(-1.0, 1.0))
-        arrive = inject_end + lat
-        deliver_done = arrive + p.o_recv
+        inject_end = self._inject(msg)
 
         self.stats.incr("net.msgs")
         self.stats.incr("net.bytes", msg.size)
         self.stats.incr(f"net.kind.{msg.kind}")
+
+        self.sim.schedule_at(inject_end, receipt.injected.set_result, None)
+
+        scripted = (self.faults.take_scripted_drop(msg.kind)
+                    if self.faults is not None else False)
+        if p.reliable:
+            link = (msg.src, msg.dst)
+            lseq = self._tx_next.get(link, 0)
+            self._tx_next[link] = lseq + 1
+            pend = _PendingSend(msg, receipt, link, lseq, scripted,
+                                self._nominal_rto(msg))
+            self._tx_pending[(link, lseq)] = pend
+            self._transmit_reliable(pend, inject_end)
+        else:
+            self._transmit_unreliable(msg, receipt, inject_end, scripted)
+        return receipt
+
+    # ------------------------------------------------------------------ #
+    # Shared wire mechanics
+    # ------------------------------------------------------------------ #
+
+    def _inject(self, msg: Message) -> float:
+        """Occupy the source NIC for one transmission; returns the time
+        injection ends (source buffer fully read)."""
+        p = self.params
+        start = max(self.sim.now, float(self._nic_free_at[msg.src]))
+        if self.faults is not None:
+            released = self.faults.release_time(msg.src, start)
+            if released > start:
+                self.stats.incr("net.nic_stalls")
+                start = released
+        inject_end = start + p.o_send + p.transfer_time(msg.size)
+        self._nic_free_at[msg.src] = inject_end
+        return inject_end
+
+    def _wire_latency(self, msg: Message) -> float:
+        lat = self.params.topology.latency(msg.src, msg.dst)
+        if self.params.jitter > 0.0:
+            lat *= 1.0 + self.params.jitter * float(
+                self._jitter_rng.uniform(-1.0, 1.0))
+        return lat
+
+    def _record_drop(self, msg: Message, t: float) -> None:
+        self.stats.incr("net.drops")
+        self.stats.incr(f"net.drops.{msg.kind}")
+        if len(self.lost) < 64:
+            self.lost.append(
+                f"t={t:.6f}s {msg.kind} #{msg.seq} {msg.src}->{msg.dst}")
+        if self.tracer is not None:
+            self.tracer.instant(msg.src, f"drop {msg.kind}", t,
+                                args={"dst": msg.dst, "seq": msg.seq})
+
+    # ------------------------------------------------------------------ #
+    # Unreliable path (the original perfect-wire model, plus faults)
+    # ------------------------------------------------------------------ #
+
+    def _transmit_unreliable(self, msg: Message, receipt: DeliveryReceipt,
+                             inject_end: float, scripted: bool) -> None:
+        lat = self._wire_latency(msg)
+        f = self.faults
+        extra = 0.0
+        duplicated = False
+        if f is not None and msg.src != msg.dst:
+            extra = f.extra_latency(lat)
+            if scripted or f.roll_drop(msg.src, msg.dst):
+                self._record_drop(msg, inject_end)
+                return
+            duplicated = f.roll_duplicate()
+        arrive = inject_end + lat + extra
         if self.tracer is not None:
             self.tracer.flow(msg.kind, msg.src, inject_end, msg.dst,
                              arrive, args={"bytes": msg.size})
-
-        self.sim.schedule_at(inject_end, receipt.injected.set_result, None)
-        self.sim.schedule_at(deliver_done, self._deliver, msg, receipt, lat)
-        return receipt
+        self.sim.schedule_at(arrive + self.params.o_recv,
+                             self._deliver, msg, receipt, lat)
+        if duplicated:
+            # Without the reliable protocol there is no receiver-side
+            # suppression: the handler really runs twice (chaos mode).
+            self.stats.incr("net.dups")
+            arrive2 = arrive + f.duplicate_lag(lat)
+            self.sim.schedule_at(arrive2 + self.params.o_recv,
+                                 self._deliver, msg, receipt, lat)
 
     def _deliver(self, msg: Message, receipt: DeliveryReceipt,
                  lat: float) -> None:
         if msg.on_deliver is not None:
             msg.on_deliver(msg)
-        if receipt.delivered is not None:
+        if receipt.delivered is not None and not receipt.delivered.done:
             ack_delay = self.params.ack_latency_factor * lat
-            self.sim.schedule(ack_delay, receipt.delivered.set_result, None)
+            self.sim.schedule(ack_delay, self._resolve_delivered, receipt)
+
+    @staticmethod
+    def _resolve_delivered(receipt: DeliveryReceipt) -> None:
+        if not receipt.delivered.done:
+            receipt.delivered.set_result(None)
+
+    # ------------------------------------------------------------------ #
+    # Reliable path
+    # ------------------------------------------------------------------ #
+
+    def _nominal_rto(self, msg: Message) -> float:
+        """First retransmission timeout: ``rto_safety`` × the message's
+        nominal (jitter-free) round trip."""
+        p = self.params
+        lat = p.topology.latency(msg.src, msg.dst)
+        rtt = (p.o_send + p.transfer_time(msg.size) + lat + p.o_recv
+               + p.ack_latency_factor * lat)
+        return p.rto_safety * rtt
+
+    def _transmit_reliable(self, pend: _PendingSend,
+                           inject_end: float) -> None:
+        msg = pend.msg
+        f = self.faults
+        lat = self._wire_latency(msg)
+        extra = 0.0
+        dropped = False
+        duplicated = False
+        if f is not None and msg.src != msg.dst:
+            extra = f.extra_latency(lat)
+            if pend.scripted_drop:
+                pend.scripted_drop = False
+                dropped = True
+            else:
+                dropped = f.roll_drop(msg.src, msg.dst)
+            if not dropped:
+                duplicated = f.roll_duplicate()
+        if dropped:
+            self._record_drop(msg, inject_end)
+        else:
+            arrive = inject_end + lat + extra
+            if self.tracer is not None:
+                self.tracer.flow(msg.kind, msg.src, inject_end, msg.dst,
+                                 arrive, args={"bytes": msg.size,
+                                               "attempt": pend.attempt})
+            self.sim.schedule_at(arrive + self.params.o_recv,
+                                 self._deliver_reliable, pend, lat)
+            if duplicated:
+                self.stats.incr("net.dups")
+                arrive2 = arrive + f.duplicate_lag(lat)
+                self.sim.schedule_at(arrive2 + self.params.o_recv,
+                                     self._deliver_reliable, pend, lat)
+        rto = pend.rto0 * (self.params.rto_backoff ** pend.attempt)
+        pend.timer = self.sim.schedule_at(inject_end + rto,
+                                          self._retransmit, pend)
+
+    def _retransmit(self, pend: _PendingSend) -> None:
+        if pend.acked:
+            return
+        pend.attempt += 1
+        p = self.params
+        if pend.attempt > p.retry_cap:
+            msg = pend.msg
+            raise RetryExhaustedError(
+                f"reliable transport gave up on {msg!r} after "
+                f"{p.retry_cap} retransmissions (link {pend.link}, link "
+                f"seq {pend.lseq}, t={self.sim.now:.6f}s): every copy "
+                "was lost — raise MachineParams.retry_cap or lower the "
+                "FaultPlan drop rate"
+            )
+        self.stats.incr("net.retransmits")
+        self.stats.incr(f"net.retransmits.{pend.msg.kind}")
+        if self.tracer is not None:
+            self.tracer.instant(pend.msg.src,
+                                f"rexmit {pend.msg.kind}", self.sim.now,
+                                args={"dst": pend.msg.dst,
+                                      "attempt": pend.attempt})
+        inject_end = self._inject(pend.msg)
+        self._transmit_reliable(pend, inject_end)
+
+    def _deliver_reliable(self, pend: _PendingSend, lat: float) -> None:
+        msg = pend.msg
+        rx = self._rx_states.get(pend.link)
+        if rx is None:
+            rx = self._rx_states[pend.link] = _RxState()
+        if rx.record(pend.lseq):
+            # Duplicate copy (injected dup or retransmission overlap):
+            # suppress the handler but re-ack, healing a lost ack.
+            self.stats.incr("net.dups_suppressed")
+        elif msg.on_deliver is not None:
+            msg.on_deliver(msg)
+        f = self.faults
+        if (f is not None and msg.src != msg.dst
+                and f.roll_ack_drop(msg.dst, msg.src)):
+            self.stats.incr("net.ack_drops")
+            return
+        ack_delay = self.params.ack_latency_factor * lat
+        self.sim.schedule(ack_delay, self._on_ack, pend)
+
+    def _on_ack(self, pend: _PendingSend) -> None:
+        if pend.acked:
+            return  # a re-ack of a suppressed duplicate
+        pend.acked = True
+        self._tx_pending.pop((pend.link, pend.lseq), None)
+        if pend.timer is not None:
+            pend.timer.cancel()
+            pend.timer = None
+        self.stats.incr("net.acks")
+        if pend.receipt.delivered is not None:
+            pend.receipt.delivered.set_result(None)
 
     # ------------------------------------------------------------------ #
 
     def nic_busy_until(self, image: int) -> float:
         """When the image's NIC injection port next frees (diagnostic)."""
         return float(self._nic_free_at[image])
+
+    def unacked(self) -> list[str]:
+        """Human-readable descriptions of reliably-sent messages still
+        awaiting acknowledgment (diagnostic)."""
+        return [f"{p.msg.kind} #{p.msg.seq} {p.msg.src}->{p.msg.dst} "
+                f"(attempt {p.attempt})"
+                for p in self._tx_pending.values()]

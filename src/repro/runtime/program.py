@@ -25,10 +25,11 @@ from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import LivenessError, Simulator
 from repro.sim.rng import RngPool
 from repro.sim.tasks import Task
 from repro.sim.trace import IntervalAccumulator, Stats
+from repro.net.faults import FaultPlan
 from repro.net.topology import MachineParams
 from repro.net.transport import Network
 from repro.net.flowcontrol import CreditManager
@@ -52,7 +53,8 @@ class Machine:
     """One simulated distributed machine running the CAF 2.0 runtime."""
 
     def __init__(self, n_images: int, params: Optional[MachineParams] = None,
-                 seed: int = 0, tracer=None):
+                 seed: int = 0, tracer=None,
+                 faults: Optional[FaultPlan] = None):
         if params is None:
             params = MachineParams.uniform(n_images)
         if params.n_images != n_images:
@@ -68,11 +70,17 @@ class Machine:
         self.tracer = tracer
         if tracer is not None:
             tracer.label_tracks(n_images)
-        # rng streams: one per image, plus one for network jitter
-        self.rng_pool = RngPool(seed, n_images + 1)
+        # rng streams: one per image, plus one for network jitter and one
+        # for fault injection (SeedSequence children are independent of
+        # pool size, so the extra stream leaves image streams untouched)
+        self.rng_pool = RngPool(seed, n_images + 2)
+        self.faults = faults
+        if faults is not None and faults.seed is None:
+            faults.bind(self.rng_pool[n_images + 1])
         self.network = Network(self.sim, params, stats=self.stats,
                                jitter_rng=self.rng_pool[n_images],
-                               tracer=tracer)
+                               tracer=tracer, faults=faults, seed=seed)
+        self.sim.add_drain_hook(self._liveness_check)
         credits = None
         if params.flow_credits is not None:
             credits = CreditManager(
@@ -275,6 +283,9 @@ class Machine:
             "cofences": self.stats["cofence.calls"],
             "finish_blocks": self.stats["finish.completed"],
             "finish_waves": self.stats["finish.rounds_total"],
+            "retransmits": self.stats["net.retransmits"],
+            "drops": self.stats["net.drops"],
+            "dups": self.stats["net.dups"],
             "busy_total": float(busy.sum()),
             "busy_imbalance": (float(busy.max() / mean_busy)
                                if mean_busy > 0 else 1.0),
@@ -296,10 +307,37 @@ class Machine:
         self._main_tasks.extend(tasks)
         return tasks
 
+    def _liveness_check(self, sim: Simulator) -> None:
+        """Drain hook: distinguish *quiescence without completion* caused
+        by message loss from an application-level deadlock.
+
+        Runs every time the event queue drains.  When main programs are
+        still blocked and the network has demonstrably lost traffic, the
+        stall is the fault injector's doing — raise a
+        :class:`~repro.sim.engine.LivenessError` carrying counter
+        snapshots.  With no fault evidence we stay silent and let
+        :meth:`run` raise its usual :class:`DeadlockError`, and a failed
+        image keeps surfacing its own exception as the root cause."""
+        if not self._main_tasks:
+            return
+        blocked = [t.name for t in self._main_tasks if not t.done_future.done]
+        if not blocked:
+            return
+        for t in self._main_tasks:
+            if t.done_future.done and t.done_future.exception():
+                return
+        if self.stats["net.drops"] == 0 and self.stats["net.ack_drops"] == 0:
+            return
+        from repro.core.finish import stall_report
+
+        raise LivenessError(stall_report(self, blocked))
+
     def run(self, max_events: Optional[int] = None) -> list[Any]:
         """Run the simulation to completion and return the main-program
         results in rank order.  Raises :class:`DeadlockError` with the
-        blocked ranks if the machine wedges."""
+        blocked ranks if the machine wedges, or lets the liveness
+        watchdog's :class:`~repro.sim.engine.LivenessError` propagate
+        when injected faults stalled the workload."""
         self.sim.run(max_events=max_events)
         blocked = [t.name for t in self._main_tasks if not t.done_future.done]
         if blocked:
@@ -318,16 +356,19 @@ class Machine:
 def run_spmd(kernel: Callable, n_images: int,
              params: Optional[MachineParams] = None, seed: int = 0,
              args: tuple = (), max_events: Optional[int] = None,
-             setup: Optional[Callable[[Machine], None]] = None
+             setup: Optional[Callable[[Machine], None]] = None,
+             faults: Optional[FaultPlan] = None
              ) -> tuple[Machine, list[Any]]:
     """Build a machine, run ``kernel`` SPMD on every image, return
     ``(machine, per-rank results)``.
 
     ``setup(machine)`` runs before launch — the place to allocate
     coarrays, events and locks (allocation is a team-creation-time
-    activity in CAF 2.0).
+    activity in CAF 2.0).  ``faults`` installs a
+    :class:`~repro.net.faults.FaultPlan` (chaos mode); pair it with
+    ``params.reliable=True`` unless the stall is the point.
     """
-    machine = Machine(n_images, params=params, seed=seed)
+    machine = Machine(n_images, params=params, seed=seed, faults=faults)
     if setup is not None:
         setup(machine)
     machine.launch(kernel, args=args)

@@ -22,6 +22,13 @@ class SimulationError(RuntimeError):
     scheduling into the past, running a finished simulation, ...)."""
 
 
+class LivenessError(SimulationError):
+    """The event queue drained but the workload did not complete —
+    quiescence without completion (e.g. a finish wave stalled on a lost
+    counter message).  The message carries the watchdog's diagnostic:
+    stalled images and their counter snapshots."""
+
+
 class _Event:
     """A scheduled callback.  Cancelled events stay in the heap but are
     skipped when popped (lazy deletion keeps cancellation O(1))."""
@@ -64,6 +71,7 @@ class Simulator:
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
+        self._drain_hooks: list[Callable[["Simulator"], None]] = []
 
     # ------------------------------------------------------------------ #
     # Clock and introspection
@@ -109,6 +117,17 @@ class Simulator:
         events at this timestamp."""
         return self.schedule(0.0, fn, *args)
 
+    def add_drain_hook(self, fn: Callable[["Simulator"], None]) -> None:
+        """Register ``fn(sim)`` to run when :meth:`run`'s event queue
+        drains naturally (not on an ``until`` horizon or budget stop).
+
+        Hooks are the liveness-watchdog mechanism: a hook may inspect
+        runtime state and raise (e.g. :class:`LivenessError`) to turn a
+        silent stall into a diagnostic, or schedule new events — in which
+        case the run resumes.  Hooks run in registration order, once per
+        drain."""
+        self._drain_hooks.append(fn)
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
@@ -146,22 +165,31 @@ class Simulator:
         self._running = True
         budget = max_events
         try:
-            while self._heap:
-                # Peek for the `until` horizon without disturbing order.
-                nxt = self._heap[0]
-                if nxt.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and nxt.time > until:
-                    self._now = until
+            while True:
+                while self._heap:
+                    # Peek for the `until` horizon without disturbing order.
+                    nxt = self._heap[0]
+                    if nxt.cancelled:
+                        heapq.heappop(self._heap)
+                        continue
+                    if until is not None and nxt.time > until:
+                        self._now = until
+                        return
+                    if budget is not None:
+                        if budget == 0:
+                            raise SimulationError(
+                                f"max_events exhausted at t={self._now!r} "
+                                f"({self._events_processed} events processed)"
+                            )
+                        budget -= 1
+                    self.step()
+                # Natural drain: give the watchdog hooks a look.  A hook
+                # may raise, or schedule new events (resuming the run).
+                if not self._drain_hooks:
                     return
-                if budget is not None:
-                    if budget == 0:
-                        raise SimulationError(
-                            f"max_events exhausted at t={self._now!r} "
-                            f"({self._events_processed} events processed)"
-                        )
-                    budget -= 1
-                self.step()
+                for fn in list(self._drain_hooks):
+                    fn(self)
+                if not self._heap:
+                    return
         finally:
             self._running = False

@@ -321,6 +321,11 @@ class Condition:
         self.name = name
         self._waiters: list[tuple[Callable[[], bool], Future]] = []
 
+    @property
+    def waiting(self) -> int:
+        """Tasks currently blocked on this condition (diagnostic)."""
+        return len(self._waiters)
+
     def wait_until(self, predicate: Callable[[], bool]) -> Generator[Any, Any, None]:
         if predicate():
             return

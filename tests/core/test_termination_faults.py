@@ -1,0 +1,103 @@
+"""Detector resilience: the epoch termination detector (Fig. 7) must
+reach the right answer when its counter messages are duplicated,
+reordered, or dropped-and-retransmitted by a hostile network."""
+
+import pytest
+
+from repro.net.faults import FaultPlan
+from repro.net.topology import MachineParams
+from repro.runtime.program import run_spmd
+
+
+def chain_kernel(img, length, cost=5e-5):
+    """The Theorem 1 workload: a spawn chain hopping around the ring,
+    slow enough that every hop straddles an allreduce wave."""
+    def hop(img2, remaining):
+        yield from img2.compute(cost)
+        if remaining > 1:
+            yield from img2.spawn(hop, (img2.team_rank() + 1) % img2.nimages,
+                                  remaining - 1)
+
+    yield from img.finish_begin()
+    if img.rank == 0 and length > 0:
+        yield from img.spawn(hop, 1, length)
+    rounds = yield from img.finish_end()
+    return rounds
+
+
+def reliable(n, **kwargs):
+    return MachineParams.uniform(n, reliable=True, **kwargs)
+
+
+class TestWaveCountStability:
+    def test_duplicates_leave_wave_count_identical(self):
+        """Duplicated deliveries are suppressed before any counter code
+        runs, and dup copies consume no modelled resources — the wave
+        count must be bit-identical to the clean run."""
+        _m, clean = run_spmd(chain_kernel, 4, params=reliable(4), args=(4,))
+        m, chaos = run_spmd(chain_kernel, 4, params=reliable(4), args=(4,),
+                            faults=FaultPlan(duplicate=0.5, seed=7))
+        assert m.stats["net.dups"] > 0
+        assert chaos == clean
+
+    def test_theorem1_bound_holds_under_duplication(self):
+        for length in (1, 2, 4):
+            m, rounds = run_spmd(
+                chain_kernel, 4, params=reliable(4), args=(length,),
+                faults=FaultPlan(duplicate=0.4, seed=11))
+            assert 1 <= rounds[0] <= length + 1
+
+    def test_terminates_under_heavy_reordering(self):
+        """Reorder jitter far beyond MachineParams.jitter: detection may
+        need extra waves but must terminate with every image agreeing."""
+        m, rounds = run_spmd(
+            chain_kernel, 4, params=reliable(4), args=(3,),
+            faults=FaultPlan(reorder=5.0, seed=13))
+        assert all(r >= 1 for r in rounds)
+        assert len(set(rounds)) == 1  # collective: all images same count
+
+
+class TestScriptedCounterLoss:
+    @pytest.mark.parametrize("kind", ["coll.up", "coll.down", "spawn"])
+    def test_detector_survives_losing_first_counter_message(self, kind):
+        """Surgically kill the first message of each detector-critical
+        kind; the reliable transport must recover and finish must still
+        terminate with the correct result."""
+        plan = FaultPlan().drop_nth(kind, 1)
+        m, rounds = run_spmd(chain_kernel, 4, params=reliable(4), args=(2,),
+                             faults=plan)
+        assert m.stats["net.drops"] == 1
+        assert m.stats["net.retransmits"] >= 1
+        assert all(r >= 1 for r in rounds)
+
+    def test_losing_every_nth_wave_message_still_terminates(self):
+        plan = FaultPlan().drop_nth("coll.up", (1, 3, 5, 7))
+        m, rounds = run_spmd(chain_kernel, 8, params=reliable(8), args=(3,),
+                             faults=plan)
+        assert m.stats["net.retransmits"] >= 1
+        assert all(r >= 1 for r in rounds)
+
+
+class TestMixedChaos:
+    def test_epoch_detector_correct_under_full_chaos(self):
+        """Drops + dups + reorder together: finish still terminates and
+        the spawn chain ran to the end exactly once (counters balance)."""
+        done = []
+
+        def leaf(img):
+            done.append(img.rank)
+            yield from img.compute(1e-6)
+
+        def kernel(img):
+            yield from img.finish_begin()
+            if img.rank == 0:
+                for dst in range(img.nimages):
+                    yield from img.spawn(leaf, dst)
+            rounds = yield from img.finish_end()
+            return rounds
+
+        m, rounds = run_spmd(
+            kernel, 4, params=reliable(4),
+            faults=FaultPlan(drop=0.1, duplicate=0.1, reorder=1.0, seed=21))
+        assert sorted(done) == [0, 1, 2, 3]  # exactly once each
+        assert all(r >= 1 for r in rounds)

@@ -1,0 +1,194 @@
+"""Chaos integration: the full application stack above an unreliable
+network.  With the reliable transport, application results must match
+the clean-network baseline; without it, the liveness watchdog must turn
+the resulting stall into a diagnostic rather than a hang."""
+
+import pytest
+
+from repro.net.faults import FaultPlan
+from repro.net.topology import MachineParams
+from repro.runtime.program import DeadlockError, Machine, run_spmd
+from repro.sim.engine import LivenessError
+from repro.apps.producer_consumer import PCConfig, run_producer_consumer
+from repro.apps.randomaccess import RAConfig, run_randomaccess
+from repro.apps.uts import TreeParams, UTSConfig, run_uts, sequential_tree_size
+
+CHAOS = dict(drop=0.05, duplicate=0.02)
+
+
+def reliable(n, **kwargs):
+    return MachineParams.uniform(n, reliable=True, **kwargs)
+
+
+class TestUTSUnderChaos:
+    TREE = TreeParams(b0=4, max_depth=7, seed=19)
+
+    def test_uts_result_matches_baseline_and_oracle(self):
+        config = UTSConfig(tree=self.TREE)
+        base = run_uts(8, config, params=reliable(8), seed=5)
+        chaos = run_uts(8, config, params=reliable(8), seed=5,
+                        faults=FaultPlan(**CHAOS, seed=23))
+        expected = sequential_tree_size(self.TREE)
+        assert base.total_nodes == expected
+        assert chaos.total_nodes == expected
+        assert chaos.retransmits > 0
+        assert chaos.drops > 0
+        assert chaos.dups > 0
+
+    def test_uts_chaos_run_is_reproducible(self):
+        """Same seeds → bit-identical chaos run, including timing and
+        per-image work distribution."""
+        config = UTSConfig(tree=self.TREE)
+        runs = [run_uts(8, config, params=reliable(8), seed=5,
+                        faults=FaultPlan(**CHAOS, seed=23))
+                for _ in range(2)]
+        assert runs[0] == runs[1]
+
+    def test_duplication_only_chaos_is_behavior_identical(self):
+        """Duplicates are suppressed before any user-visible side effect
+        and the fault rng is a separate stream, so a duplicate-only plan
+        changes nothing the application can observe.  (The machine's
+        final clock may differ by the tail of late dup re-acks draining
+        after the kernels finish, so ``sim_time`` is not compared.)"""
+        config = UTSConfig(tree=self.TREE)
+        base = run_uts(8, config, params=reliable(8), seed=5)
+        dup = run_uts(8, config, params=reliable(8), seed=5,
+                      faults=FaultPlan(duplicate=0.3, seed=29))
+        assert dup.dups > 0
+        assert dup.nodes_per_image == base.nodes_per_image
+        assert dup.steals_attempted == base.steals_attempted
+        assert dup.steals_successful == base.steals_successful
+        assert dup.finish_rounds == base.finish_rounds
+
+
+class TestRandomAccessUnderChaos:
+    CONFIG = RAConfig(log2_local_table=8, updates_per_image=64)
+
+    def test_checksum_identical_and_verified(self):
+        base = run_randomaccess(4, self.CONFIG, params=reliable(4),
+                                seed=5, verify=True)
+        chaos = run_randomaccess(4, self.CONFIG, params=reliable(4),
+                                 seed=5, verify=True,
+                                 faults=FaultPlan(**CHAOS, seed=31))
+        assert base.errors == 0
+        assert chaos.errors == 0  # exactly-once xor updates
+        assert chaos.checksum == base.checksum
+        assert chaos.total_updates == base.total_updates
+        assert chaos.retransmits > 0 and chaos.drops > 0
+
+
+class TestProducerConsumerUnderChaos:
+    @pytest.mark.parametrize("variant", ["events", "cofence", "finish"])
+    def test_both_variants_complete(self, variant):
+        config = PCConfig(variant=variant, iterations=4)
+        base = run_producer_consumer(4, config, params=reliable(4), seed=5)
+        chaos = run_producer_consumer(4, config, params=reliable(4), seed=5,
+                                      faults=FaultPlan(**CHAOS, seed=37))
+        assert chaos.copies == base.copies
+        assert chaos.iterations == base.iterations
+
+
+class TestTheorem1UnderChaos:
+    def test_wave_bound_with_faults(self):
+        def hop(img, remaining):
+            yield from img.compute(5e-5)
+            if remaining > 1:
+                yield from img.spawn(hop,
+                                     (img.team_rank() + 1) % img.nimages,
+                                     remaining - 1)
+
+        def kernel(img, length):
+            yield from img.finish_begin()
+            if img.rank == 0:
+                yield from img.spawn(hop, 1, length)
+            rounds = yield from img.finish_end()
+            return rounds
+
+        for length in (2, 4):
+            m, rounds = run_spmd(kernel, 8, params=reliable(8),
+                                 args=(length,),
+                                 faults=FaultPlan(duplicate=0.3, seed=41))
+            clean_m, clean = run_spmd(kernel, 8, params=reliable(8),
+                                      args=(length,))
+            assert rounds == clean
+            assert clean[0] <= length + 1
+
+
+class TestLivenessWatchdog:
+    def _stalling_kernel(self):
+        def remote(img):
+            yield from img.compute(1e-6)
+
+        def kernel(img):
+            yield from img.finish_begin()
+            if img.rank == 0:
+                yield from img.spawn(remote, 1)
+            yield from img.finish_end()
+            return img.rank
+
+        return kernel
+
+    def test_unreliable_drop_becomes_diagnostic_not_hang(self):
+        """Acceptance criterion: with reliability disabled a lost counted
+        message stalls finish; the watchdog must name the stalled images
+        and quote their counter snapshots."""
+        with pytest.raises(LivenessError) as exc:
+            run_spmd(self._stalling_kernel(), 4,
+                     faults=FaultPlan().drop_nth("spawn", 1),
+                     max_events=500_000)
+        text = str(exc.value)
+        assert "quiescence without completion" in text
+        assert "main@0" in text and "main@3" in text
+        assert "sent=1, delivered=0" in text  # image 0's stranded epoch
+        assert "reliable=OFF" in text
+        assert "lost: " in text and "spawn" in text
+
+    def test_random_drops_without_reliability_also_diagnosed(self):
+        with pytest.raises(LivenessError):
+            run_spmd(self._stalling_kernel(), 4,
+                     faults=FaultPlan(drop=0.9, seed=43),
+                     max_events=500_000)
+
+    def test_plain_deadlock_still_raises_deadlock_error(self):
+        """No fault evidence → the watchdog stays out of the way, even
+        with a (duplicate-only) plan installed."""
+        def kernel(img):
+            if img.rank == 0:
+                ev = img.machine.make_event(name="never")
+                yield from img.event_wait(ev)  # nobody posts
+            yield from img.barrier()
+
+        with pytest.raises(DeadlockError, match="main@"):
+            run_spmd(kernel, 2,
+                     faults=FaultPlan(duplicate=0.2, seed=47),
+                     max_events=100_000)
+
+    def test_failed_image_exception_still_wins(self):
+        """A crashed image wedges its peers; the root-cause exception
+        must surface, not a liveness report."""
+        def kernel(img):
+            yield from img.finish_begin()
+            if img.rank == 0:
+                raise RuntimeError("application bug")
+            yield from img.finish_end()
+
+        with pytest.raises(RuntimeError, match="application bug"):
+            run_spmd(kernel, 2, faults=FaultPlan(drop=0.3, seed=53),
+                     max_events=100_000)
+
+    def test_watchdog_reports_machine_run_too(self):
+        """The hook fires from Machine.run as well as run_spmd."""
+        machine = Machine(2, faults=FaultPlan().drop_nth("spawn", 1))
+
+        def remote(img):
+            yield from img.compute(1e-6)
+
+        def kernel(img):
+            yield from img.finish_begin()
+            if img.rank == 0:
+                yield from img.spawn(remote, 1)
+            yield from img.finish_end()
+
+        machine.launch(kernel)
+        with pytest.raises(LivenessError):
+            machine.run(max_events=100_000)

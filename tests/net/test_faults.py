@@ -1,0 +1,113 @@
+"""Unit tests for the deterministic fault injector."""
+
+import numpy as np
+import pytest
+
+from repro.net.faults import FaultPlan, NicStall
+
+
+class TestValidation:
+    def test_probabilities_must_be_in_range(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(duplicate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(ack_drop=2.0)
+        with pytest.raises(ValueError):
+            FaultPlan(link_drop={(0, 1): 1.5})
+        with pytest.raises(ValueError):
+            FaultPlan(reorder=-1.0)
+
+    def test_stall_windows_validated(self):
+        with pytest.raises(ValueError):
+            NicStall(image=-1, start=0.0, duration=1.0)
+        with pytest.raises(ValueError):
+            NicStall(image=0, start=0.0, duration=0.0)
+        with pytest.raises(TypeError):
+            FaultPlan(stalls=[(0, 1.0, 2.0)])
+
+    def test_scripted_indices_are_one_based(self):
+        with pytest.raises(ValueError):
+            FaultPlan().drop_nth("spawn", 0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        plan_a = FaultPlan(drop=0.3, duplicate=0.2, seed=11)
+        plan_b = FaultPlan(drop=0.3, duplicate=0.2, seed=11)
+        seq_a = [(plan_a.roll_drop(0, 1), plan_a.roll_duplicate())
+                 for _ in range(50)]
+        seq_b = [(plan_b.roll_drop(0, 1), plan_b.roll_duplicate())
+                 for _ in range(50)]
+        assert seq_a == seq_b
+
+    def test_different_seeds_diverge(self):
+        plan_a = FaultPlan(drop=0.5, seed=1)
+        plan_b = FaultPlan(drop=0.5, seed=2)
+        seq_a = [plan_a.roll_drop(0, 1) for _ in range(64)]
+        seq_b = [plan_b.roll_drop(0, 1) for _ in range(64)]
+        assert seq_a != seq_b
+
+    def test_bind_overrides_stream(self):
+        plan = FaultPlan(drop=0.5)
+        plan.bind(np.random.default_rng(123))
+        ref = np.random.default_rng(123)
+        assert plan.roll_drop(0, 1) == (float(ref.random()) < 0.5)
+
+    def test_clone_resets_per_run_state(self):
+        plan = FaultPlan(drop=0.5, seed=3).drop_nth("spawn", 1)
+        assert plan.take_scripted_drop("spawn")
+        [plan.roll_drop(0, 1) for _ in range(10)]
+        fresh = plan.clone()
+        assert fresh.take_scripted_drop("spawn")  # count restarted
+        orig = FaultPlan(drop=0.5, seed=3)
+        assert ([fresh.roll_drop(0, 1) for _ in range(10)]
+                == [orig.roll_drop(0, 1) for _ in range(10)])
+
+
+class TestDecisions:
+    def test_scripted_drop_hits_exactly_the_nth(self):
+        plan = FaultPlan().drop_nth("coll.up", (2, 4))
+        hits = [plan.take_scripted_drop("coll.up") for _ in range(5)]
+        assert hits == [False, True, False, True, False]
+        # other kinds have independent counts
+        assert not plan.take_scripted_drop("spawn")
+
+    def test_link_drop_overrides_default(self):
+        plan = FaultPlan(drop=0.0, link_drop={(0, 1): 0.9999}, seed=0)
+        assert plan.drop_probability(0, 1) == 0.9999
+        assert plan.drop_probability(1, 0) == 0.0
+        assert any(plan.roll_drop(0, 1) for _ in range(50))
+        assert not any(plan.roll_drop(1, 0) for _ in range(50))
+
+    def test_reorder_extra_latency_bounded(self):
+        plan = FaultPlan(reorder=0.5, seed=0)
+        for _ in range(100):
+            extra = plan.extra_latency(1e-6)
+            assert 0.0 <= extra < 0.5e-6
+        assert FaultPlan().extra_latency(1e-6) == 0.0
+
+    def test_stall_release_time(self):
+        plan = FaultPlan(stalls=[NicStall(0, start=1.0, duration=0.5),
+                                 NicStall(0, start=1.5, duration=0.25),
+                                 NicStall(1, start=0.0, duration=9.0)])
+        assert plan.release_time(0, 1.2) == 1.75  # chained windows
+        assert plan.release_time(0, 0.5) == 0.5   # before the window
+        assert plan.release_time(0, 2.0) == 2.0   # after it
+        assert plan.release_time(1, 3.0) == 9.0
+        assert plan.release_time(2, 1.0) == 1.0   # other image untouched
+
+    def test_active_property(self):
+        assert not FaultPlan().active
+        assert FaultPlan(drop=0.1).active
+        assert FaultPlan(stalls=[NicStall(0, 0.0, 1.0)]).active
+        assert FaultPlan().drop_nth("spawn", 1).active
+
+    def test_ack_drop_defaults_to_drop(self):
+        assert FaultPlan(drop=0.2).ack_drop == 0.2
+        assert FaultPlan(drop=0.2, ack_drop=0.05).ack_drop == 0.05
+
+    def test_describe_mentions_configuration(self):
+        text = repr(FaultPlan(drop=0.1, seed=5).drop_nth("spawn", 3))
+        assert "drop=0.1" in text and "seed=5" in text and "spawn" in text
