@@ -1,0 +1,5 @@
+"""Dynamic analyses over simulation runs (race detection, ...)."""
+
+from repro.analysis.racecheck import AccessSite, RaceDetector, RaceReport
+
+__all__ = ["AccessSite", "RaceDetector", "RaceReport"]

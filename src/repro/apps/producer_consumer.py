@@ -56,6 +56,8 @@ class PCResult:
     variant: str
     iterations: int
     copies: int
+    #: race-detector findings (0 unless racecheck was enabled AND racy)
+    races: int = 0
 
 
 def pc_kernel(img, config: PCConfig) -> Generator[Any, Any, float]:
@@ -86,16 +88,17 @@ def pc_kernel(img, config: PCConfig) -> Generator[Any, Any, float]:
         if img.rank == 0:
             # produce_work_next_rnd(): the buffer is reused immediately —
             # legal because the chosen synchronization guaranteed at
-            # least local data completion.
+            # least local data completion.  The instrumented write is how
+            # the race detector checks exactly that.
             yield from img.compute(config.produce_cost)
-            src[:] = (src[:] + 1) % 251
+            img.local_write(src, (src + 1) % 251)
     yield from img.finish_end()
     return img.now
 
 
 def run_producer_consumer(n_images: int, config: Optional[PCConfig] = None,
                           params=None, seed: int = 0,
-                          faults=None) -> PCResult:
+                          faults=None, racecheck: bool = False) -> PCResult:
     """Run one variant; returns the simulated execution time."""
     from repro.runtime.program import run_spmd
 
@@ -107,10 +110,11 @@ def run_producer_consumer(n_images: int, config: Optional[PCConfig] = None,
 
     machine, results = run_spmd(pc_kernel, n_images, params=params,
                                 seed=seed, args=(config,), setup=setup,
-                                faults=faults)
+                                faults=faults, racecheck=racecheck)
     return PCResult(
         sim_time=max(results),
         variant=config.variant,
         iterations=config.iterations,
         copies=machine.stats["copy.initiated"],
+        races=(machine.racecheck.race_count if racecheck else 0),
     )

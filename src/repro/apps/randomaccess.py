@@ -134,6 +134,8 @@ class RAResult:
     retransmits: int = 0
     drops: int = 0
     dups: int = 0
+    #: race-detector findings (0 unless racecheck was enabled AND racy)
+    races: int = 0
 
     @property
     def error_rate(self) -> Optional[float]:
@@ -246,7 +248,8 @@ def reference_table(n_images: int, config: RAConfig) -> np.ndarray:
 
 def run_randomaccess(n_images: int, config: Optional[RAConfig] = None,
                      params=None, seed: int = 0,
-                     verify: bool = False, faults=None) -> RAResult:
+                     verify: bool = False, faults=None,
+                     racecheck: bool = False) -> RAResult:
     """Run RandomAccess; returns timing and the table checksum.
 
     With ``verify=True`` the final table is compared against a
@@ -271,7 +274,7 @@ def run_randomaccess(n_images: int, config: Optional[RAConfig] = None,
 
     machine, blocks = run_spmd(ra_kernel, n_images, params=params,
                                seed=seed, args=(config,), setup=setup,
-                               faults=faults)
+                               faults=faults, racecheck=racecheck)
     table = machine.coarray_by_name("ra_table")
     checksum = 0
     for r in range(n_images):
@@ -295,4 +298,5 @@ def run_randomaccess(n_images: int, config: Optional[RAConfig] = None,
         retransmits=machine.stats["net.retransmits"],
         drops=machine.stats["net.drops"],
         dups=machine.stats["net.dups"],
+        races=(machine.racecheck.race_count if racecheck else 0),
     )

@@ -149,6 +149,8 @@ class UTSResult:
     retransmits: int = 0
     drops: int = 0
     dups: int = 0
+    #: race-detector findings (0 unless racecheck was enabled AND racy)
+    races: int = 0
 
 
 class _UTSState:
@@ -345,13 +347,15 @@ def uts_kernel(img, config: UTSConfig) -> Generator[Any, Any, int]:
 
 
 def run_uts(n_images: int, config: Optional[UTSConfig] = None,
-            params=None, seed: int = 0, faults=None) -> UTSResult:
+            params=None, seed: int = 0, faults=None,
+            racecheck: bool = False) -> UTSResult:
     """Run the distributed UTS benchmark; returns measurements."""
     from repro.runtime.program import run_spmd
 
     config = config if config is not None else UTSConfig()
     machine, per_image = run_spmd(uts_kernel, n_images, params=params,
-                                  seed=seed, args=(config,), faults=faults)
+                                  seed=seed, args=(config,), faults=faults,
+                                  racecheck=racecheck)
     return UTSResult(
         total_nodes=sum(per_image),
         sim_time=machine.sim.now,
@@ -364,4 +368,5 @@ def run_uts(n_images: int, config: Optional[UTSConfig] = None,
         retransmits=machine.stats["net.retransmits"],
         drops=machine.stats["net.drops"],
         dups=machine.stats["net.dups"],
+        races=(machine.racecheck.race_count if racecheck else 0),
     )

@@ -13,10 +13,11 @@ Arguments (both optional, mirroring SPARC V9 MEMBAR's ordering masks):
   the fence waits for everything.
 - ``upward`` — which class of *later* operations may be initiated before
   the fence completes.  The simulator initiates operations in program
-  order, so this argument cannot change execution here; it is validated,
-  recorded for the memory-model oracle, and documented so programs carry
-  the same information they would on a reordering implementation
-  (tests check the oracle's legality rules instead).
+  order, so this argument cannot change execution here; it is validated
+  and recorded (a per-class stats counter, and the fence-class annotation
+  handed to the race detector) so programs carry the same information
+  they would on a reordering implementation (tests check the reorder
+  oracle's legality rules instead).
 
 An operation that both reads and writes local data only passes a
 direction that allows *both* classes (§III-B: the unconstrained action
@@ -40,10 +41,15 @@ def cofence(ctx, downward: Optional[str] = None,
     """Block until every constrained pending implicit operation of this
     activation is local-data complete."""
     down_allowed = allowed_set(downward)
-    allowed_set(upward)  # validate; see module docstring
+    allowed_set(upward)  # validate eagerly, even when upward is None
     machine = ctx.machine
     machine.stats.incr("cofence.calls")
+    if upward is not None:
+        machine.stats.incr(f"cofence.upward.{upward}")
     waits = ctx.activation.fence_waits(down_allowed)
     if waits:
         machine.stats.incr("cofence.waited", len(waits))
         yield all_of(waits, "cofence")
+    if machine.racecheck is not None:
+        machine.racecheck.cofence_joined(ctx.activation, down_allowed,
+                                         downward, upward)

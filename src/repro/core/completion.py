@@ -28,7 +28,7 @@ class AsyncOp:
     """Handle for one asynchronous operation."""
 
     __slots__ = ("kind", "initiated", "local_data", "local_op",
-                 "global_done", "pending_op")
+                 "global_done", "pending_op", "rc")
 
     def __init__(self, kind: str):
         self.kind = kind
@@ -39,14 +39,18 @@ class AsyncOp:
         #: the record registered on the initiating activation when the
         #: operation uses implicit completion; None for explicit ops
         self.pending_op: Optional[PendingOp] = None
+        #: race-detector clock material (analysis.racecheck), when enabled
+        self.rc = None
 
     def make_pending(self, reads_local: bool, writes_local: bool,
-                     released: Optional[Future] = None) -> PendingOp:
+                     released: Optional[Future] = None,
+                     op_id: Optional[int] = None) -> PendingOp:
         """Build (and remember) the pending-op record for this operation."""
         self.pending_op = PendingOp(
             self.kind, reads_local, writes_local,
             local_data=self.local_data, local_op=self.local_op,
             released=released if released is not None else self.global_done,
+            op_id=op_id,
         )
         return self.pending_op
 

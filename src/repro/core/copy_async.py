@@ -230,7 +230,24 @@ def copy_async(ctx, dest: Union[CoarrayRef, np.ndarray],
     src_local = s.rank == ctx.rank
     dest_local = d.rank == ctx.rank
 
-    def start() -> None:
+    op.initiated.set_result(None)
+    if implicit:
+        pending = op.make_pending(
+            reads_local=src_local, writes_local=dest_local,
+            released=op.global_done, op_id=machine.next_op_id(),
+        )
+        ctx.activation.register(pending)
+
+    rcop = (machine.racecheck.copy_begin(ctx, op, implicit,
+                                         predicated=pre is not None)
+            if machine.racecheck is not None else None)
+
+    def launch() -> None:
+        if op.pending_op is not None:
+            op.pending_op.started = True
+        if rcop is not None:
+            machine.racecheck.copy_started(ctx, rcop, implicit, d, s, pre,
+                                           src_ev, dest_ev)
         if src_local and dest_local:
             _start_local(ctx, machine, op, d, s, src_ev, dest_ev)
         elif src_local:
@@ -240,27 +257,12 @@ def copy_async(ctx, dest: Union[CoarrayRef, np.ndarray],
         else:
             _start_forward(ctx, machine, op, d, s, key, src_ev, dest_ev)
 
-    op.initiated.set_result(None)
-    if implicit:
-        pending = op.make_pending(
-            reads_local=src_local, writes_local=dest_local,
-            released=op.global_done,
-        )
-        ctx.activation.register(pending)
-
     if pre is None:
-        start()
+        launch()
     else:
         if op.pending_op is not None:
             op.pending_op.started = False
-
-            def gated_start() -> None:
-                op.pending_op.started = True
-                start()
-
-            machine.when_event(pre, ctx.rank, gated_start)
-        else:
-            machine.when_event(pre, ctx.rank, start)
+        machine.when_event(pre, ctx.rank, launch)
     return op
 
 

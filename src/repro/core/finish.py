@@ -370,9 +370,13 @@ def finish_end(ctx, detector: str = "epoch") -> Generator[Any, Any, int]:
     if not state.finish_stack:
         raise FinishUsageError(f"image {ctx.rank}: end finish without finish")
     frame = state.finish_stack[-1]
+    if ctx.machine.racecheck is not None:
+        ctx.machine.racecheck.finish_enter(ctx.activation, frame.key)
     algorithm = termination.get_detector(detector)
     rounds = yield from algorithm(ctx, frame)
     state.finish_stack.pop()
+    if ctx.machine.racecheck is not None:
+        ctx.machine.racecheck.finish_exit(ctx.activation, frame.key)
     ctx.machine.stats.incr("finish.completed")
     ctx.machine.stats.incr("finish.rounds_total", rounds)
     return rounds

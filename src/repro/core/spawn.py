@@ -81,7 +81,7 @@ def _ensure_handlers(machine) -> None:
 
 
 def _make_exec_handler(machine):
-    def handle_exec(ctx, fn, args, key, tag, event_ref, name):
+    def handle_exec(ctx, fn, args, key, tag, event_ref, name, rc_vc=None):
         # Count reception before the function body runs: the message has
         # landed even if the task runs long (Fig. 7 separates received
         # from completed for exactly this reason).
@@ -89,11 +89,17 @@ def _make_exec_handler(machine):
         frame = fin.frame_at(machine, ctx.image, key) if key is not None else None
         activation = Activation(
             machine.image_state(ctx.image), finish_frame=frame, name=name)
+        if machine.racecheck is not None:
+            machine.racecheck.activation_begin(activation, rc_vc)
         image = machine.make_image(ctx.image, activation)
         machine.stats.incr("spawn.executed")
         try:
             yield from fn(image, *args)
         finally:
+            if machine.racecheck is not None:
+                # Publish the body's final clock before the completion
+                # count/event can let a finish or waiter proceed.
+                machine.racecheck.activation_done(activation, key, event_ref)
             fin.count_completed(machine, ctx.image, key, recv_stamp)
             if event_ref is not None:
                 machine.post_event(event_ref, from_rank=ctx.image)
@@ -134,9 +140,14 @@ def spawn(ctx, fn, target: int, *args: Any,
     size = payload_size(args)
     shipped_args = tuple(_marshal(a) for a in args)
     machine.stats.incr("spawn.initiated")
+    rc_vc = None
+    if machine.racecheck is not None:
+        rcop = machine.racecheck.spawn_begin(ctx, op, implicit)
+        rc_vc = rcop.vc_local()
     receipt = yield from machine.am.request(
         ctx.rank, dst, _EXEC,
-        args=(fn, shipped_args, key, fin.wire_tag(stamp), event_ref, name),
+        args=(fn, shipped_args, key, fin.wire_tag(stamp), event_ref, name,
+              rc_vc),
         payload_size=size, category=AMCategory.MEDIUM,
         want_ack=True, kind="spawn",
     )
@@ -153,5 +164,8 @@ def spawn(ctx, fn, target: int, *args: Any,
     if implicit:
         ctx.activation.register(
             op.make_pending(reads_local=True, writes_local=False,
-                            released=op.local_op))
+                            released=op.local_op,
+                            op_id=machine.next_op_id()))
+        if machine.racecheck is not None:
+            machine.racecheck.spawn_registered(ctx.activation, op)
     return op

@@ -18,6 +18,7 @@ from repro.harness.experiments import (
     ablation_tree_radix,
     ablation_steal_chunk,
     chaos_resilience,
+    races_audit,
 )
 
 __all__ = [
@@ -35,4 +36,5 @@ __all__ = [
     "ablation_tree_radix",
     "ablation_steal_chunk",
     "chaos_resilience",
+    "races_audit",
 ]

@@ -28,6 +28,7 @@ from repro.harness import (
     fig16_uts_load_balance,
     fig17_uts_efficiency,
     fig18_allreduce_rounds,
+    races_audit,
     theorem1_waves,
 )
 
@@ -73,6 +74,11 @@ EXPERIMENTS = {
         n_images=4 if quick else 8,
         tree=_QUICK_TREE if quick else None,
         updates_per_image=16 if quick else 64)),
+    "races": (lambda quick: races_audit(
+        n_images=4 if quick else 8,
+        tree=_QUICK_TREE if quick else None,
+        iterations=10 if quick else 50,
+        updates_per_image=16 if quick else 32)),
 }
 
 

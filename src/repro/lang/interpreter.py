@@ -347,10 +347,13 @@ class Interpreter:
         if isinstance(expr, A.Var):
             value = env.lookup(expr.name)
             if isinstance(value, Coarray):
+                img._rc_access(CoarrayRef(value, img.rank, slice(None)),
+                               write=False)
                 return value.local_at(img.rank)
             if isinstance(value, CoarrayRef):
                 # a by-reference spawn argument: reads go through the ref
                 if value.world_rank == img.rank:
+                    img._rc_access(value, write=False)
                     return _scalarize(value.read())
                 got = yield from img.get(value)
                 return _scalarize(got)
@@ -413,6 +416,7 @@ class Interpreter:
             index = yield from self.eval_selector(img, env, expr.selector,
                                                   obj.local_at(img.rank))
             if rank == img.rank:
+                img._rc_access(CoarrayRef(obj, rank, index), write=False)
                 return _scalarize(obj.local_at(rank)[index])
             value = yield from img.get(CoarrayRef(obj, rank, index))
             return _scalarize(value)
@@ -518,10 +522,13 @@ class Interpreter:
                                f"{target.name!r}")
             current = env.lookup(target.name)
             if isinstance(current, Coarray):
+                img._rc_access(CoarrayRef(current, img.rank, slice(None)),
+                               write=True)
                 current.local_at(img.rank)[:] = value
             elif isinstance(current, CoarrayRef):
                 # by-reference spawn argument: writes go through the ref
                 if current.world_rank == img.rank:
+                    img._rc_access(current, write=True)
                     current.write(value)
                 else:
                     yield from img.put(current, value)
@@ -541,6 +548,7 @@ class Interpreter:
                 index = yield from self.eval_selector(
                     img, env, target.selector, obj.local_at(img.rank))
                 if rank == img.rank:
+                    img._rc_access(CoarrayRef(obj, rank, index), write=True)
                     obj.local_at(rank)[index] = value
                 else:
                     yield from img.put(CoarrayRef(obj, rank, index), value)

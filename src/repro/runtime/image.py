@@ -26,7 +26,7 @@ from typing import Any, Generator, Optional, TYPE_CHECKING
 import numpy as np
 
 from repro.sim.tasks import Delay
-from repro.runtime.coarray import CoarrayRef
+from repro.runtime.coarray import Coarray, CoarrayRef
 from repro.runtime.event import EventRef, EventVar
 from repro.runtime.memory_model import Activation
 from repro.runtime.team import Team
@@ -227,6 +227,9 @@ class Image:
             )
         self.machine.stats.incr("event.waits")
         yield from ev.consume_when_ready(self.rank, count)
+        if self.machine.racecheck is not None:
+            self.machine.racecheck.event_acquire(self.activation,
+                                                 ev.ref_for(home))
 
     def event_notify(self, event: EventVar | EventRef, count: int = 1
                      ) -> Generator[Any, Any, None]:
@@ -241,6 +244,8 @@ class Image:
             yield all_of(release, "notify.release")
         ev, home = self._event_home(event)
         self.machine.stats.incr("event.notifies")
+        if self.machine.racecheck is not None:
+            self.machine.racecheck.notify(self.activation, ev.ref_for(home))
         self.machine.post_event(ev.ref_for(home), from_rank=self.rank,
                                 count=count)
 
@@ -257,65 +262,128 @@ class Image:
     # Blocking collectives and data movement
     # ------------------------------------------------------------------ #
 
+    def _rc_coll_enter(self, team: Optional[Team], contribute: bool = True):
+        """Race-detector entry edge for a blocking collective; returns the
+        round key to hand back to :meth:`_rc_coll_exit` (None when the
+        detector is off).  Rooted collectives pass ``contribute``/``join``
+        flags matching their actual message flow (a reduce orders nothing
+        for non-roots on exit; a broadcast contributes nothing but the
+        root's clock)."""
+        rc = self.machine.racecheck
+        if rc is None:
+            return None
+        team = team if team is not None else self.team_world
+        return rc.coll_enter(self.activation, team, contribute=contribute)
+
+    def _rc_coll_exit(self, key, join: bool = True) -> None:
+        if key is not None:
+            self.machine.racecheck.coll_exit(self.activation, key, join=join)
+
+    def _is_root(self, root: int, team: Optional[Team]) -> bool:
+        team = team if team is not None else self.team_world
+        return team.rank_of(self.rank) == root
+
     def barrier(self, team: Optional[Team] = None):
+        key = self._rc_coll_enter(team)
         yield from _coll.barrier(self, team=team)
+        self._rc_coll_exit(key)
 
     def allreduce(self, value, op="sum", team: Optional[Team] = None):
-        return (yield from _coll.allreduce(self, value, op=op, team=team))
+        key = self._rc_coll_enter(team)
+        result = yield from _coll.allreduce(self, value, op=op, team=team)
+        self._rc_coll_exit(key)
+        return result
 
     def reduce(self, value, op="sum", root: int = 0,
                team: Optional[Team] = None):
-        return (yield from _coll.reduce(self, value, op=op, root=root,
-                                        team=team))
+        key = self._rc_coll_enter(team)
+        result = yield from _coll.reduce(self, value, op=op, root=root,
+                                         team=team)
+        self._rc_coll_exit(key, join=self._is_root(root, team))
+        return result
 
     def broadcast(self, value, root: int = 0, team: Optional[Team] = None):
-        return (yield from _coll.broadcast(self, value, root=root, team=team))
+        key = self._rc_coll_enter(team, contribute=self._is_root(root, team))
+        result = yield from _coll.broadcast(self, value, root=root, team=team)
+        self._rc_coll_exit(key)
+        return result
 
     def gather(self, value, root: int = 0, team: Optional[Team] = None):
-        return (yield from _coll.gather(self, value, root=root, team=team))
+        key = self._rc_coll_enter(team)
+        result = yield from _coll.gather(self, value, root=root, team=team)
+        self._rc_coll_exit(key, join=self._is_root(root, team))
+        return result
 
     def allgather(self, value, team: Optional[Team] = None):
-        return (yield from _coll.allgather(self, value, team=team))
+        key = self._rc_coll_enter(team)
+        result = yield from _coll.allgather(self, value, team=team)
+        self._rc_coll_exit(key)
+        return result
 
     def scatter(self, values, root: int = 0, team: Optional[Team] = None):
-        return (yield from _coll.scatter(self, values, root=root, team=team))
+        key = self._rc_coll_enter(team, contribute=self._is_root(root, team))
+        result = yield from _coll.scatter(self, values, root=root, team=team)
+        self._rc_coll_exit(key)
+        return result
 
     def alltoall(self, values, team: Optional[Team] = None):
-        return (yield from _coll.alltoall(self, values, team=team))
+        key = self._rc_coll_enter(team)
+        result = yield from _coll.alltoall(self, values, team=team)
+        self._rc_coll_exit(key)
+        return result
 
     def scan(self, value, op="sum", team: Optional[Team] = None,
              inclusive: bool = True):
-        return (yield from _coll.scan(self, value, op=op, team=team,
-                                      inclusive=inclusive))
+        key = self._rc_coll_enter(team)
+        result = yield from _coll.scan(self, value, op=op, team=team,
+                                       inclusive=inclusive)
+        self._rc_coll_exit(key)
+        return result
 
     def sort(self, values, team: Optional[Team] = None):
-        return (yield from _coll.sort(self, values, team=team))
+        key = self._rc_coll_enter(team)
+        result = yield from _coll.sort(self, values, team=team)
+        self._rc_coll_exit(key)
+        return result
 
     def team_split(self, team: Team, color: int, key: int):
         """Collectively split ``team``; returns my new team (§II-A)."""
-        return (yield from _coll.team_split(self, team, color, key))
+        rc_key = self._rc_coll_enter(team)
+        result = yield from _coll.team_split(self, team, color, key)
+        self._rc_coll_exit(rc_key)
+        return result
 
     def ring_allreduce(self, array, op="sum", team: Optional[Team] = None):
         """Bandwidth-optimal array allreduce (ring reduce-scatter +
         allgather); see :mod:`repro.core.collectives_algos`."""
         from repro.core import collectives_algos as _algos
-        return (yield from _algos.ring_allreduce(self, array, op=op,
-                                                 team=team))
+        key = self._rc_coll_enter(team)
+        result = yield from _algos.ring_allreduce(self, array, op=op,
+                                                  team=team)
+        self._rc_coll_exit(key)
+        return result
 
     def pipelined_broadcast(self, array, root: int = 0,
                             team: Optional[Team] = None, segments: int = 8):
         """Chain-pipelined bulk broadcast; see
         :mod:`repro.core.collectives_algos`."""
         from repro.core import collectives_algos as _algos
-        return (yield from _algos.pipelined_broadcast(
-            self, array, root=root, team=team, segments=segments))
+        key = self._rc_coll_enter(team, contribute=self._is_root(root, team))
+        result = yield from _algos.pipelined_broadcast(
+            self, array, root=root, team=team, segments=segments)
+        self._rc_coll_exit(key)
+        return result
 
     def wait_all(self, ops) -> Generator[Any, Any, None]:
         """Block until every given AsyncOp is globally done."""
         from repro.sim.tasks import all_of
+        ops = list(ops)
         futures = [op.global_done for op in ops]
         if futures:
             yield all_of(futures, "wait_all")
+        if self.machine.racecheck is not None:
+            for op in ops:
+                self.machine.racecheck.op_waited(self.activation, op)
 
     def wait_any(self, ops) -> Generator[Any, Any, int]:
         """Block until one of the AsyncOps is globally done; returns its
@@ -326,6 +394,8 @@ class Image:
             raise ValueError("wait_any of no operations")
         index, _value = yield any_of([op.global_done for op in ops],
                                      "wait_any")
+        if self.machine.racecheck is not None:
+            self.machine.racecheck.op_waited(self.activation, ops[index])
         return index
 
     def get(self, src: CoarrayRef) -> Generator[Any, Any, Any]:
@@ -336,6 +406,8 @@ class Image:
         buf = np.empty_like(np.atleast_1d(np.asarray(sample)))
         op = _copy.copy_async(self, buf, src, _explicit=True)
         yield op.local_data
+        if self.machine.racecheck is not None:
+            self.machine.racecheck.op_waited(self.activation, op, "local")
         self.machine.stats.incr("blocking.gets")
         return buf[0] if scalar else buf
 
@@ -345,4 +417,54 @@ class Image:
         buf = np.asarray(data)
         op = _copy.copy_async(self, dest, buf, _explicit=True)
         yield op.global_done
+        if self.machine.racecheck is not None:
+            self.machine.racecheck.op_waited(self.activation, op)
         self.machine.stats.incr("blocking.puts")
+
+    # ------------------------------------------------------------------ #
+    # Direct local accesses (race-detector-visible)
+    # ------------------------------------------------------------------ #
+
+    def _rc_access(self, target, write: bool) -> None:
+        """Report a synchronous local access to the race detector (no-op
+        when detection is off).  Used by the interpreter's coarray
+        accesses and the local_read/local_write convenience API."""
+        if self.machine.racecheck is not None:
+            self.machine.racecheck.record_direct(self.activation, target,
+                                                 self.rank, write)
+
+    def _local_ref(self, target) -> CoarrayRef:
+        if isinstance(target, Coarray):
+            target = CoarrayRef(target, self.rank, slice(None))
+        if not isinstance(target, CoarrayRef):
+            raise TypeError(
+                f"expected a Coarray or CoarrayRef, got "
+                f"{type(target).__name__}")
+        if target.world_rank != self.rank:
+            raise ValueError(
+                f"local access to coarray {target.coarray.name!r} on image "
+                f"{target.world_rank} from image {self.rank}; use get/put "
+                "for remote sections")
+        return target
+
+    def local_read(self, target):
+        """Read my section (or an element) of a coarray — or a local numpy
+        buffer — through the instrumented access path: equivalent to plain
+        numpy indexing, but the race detector sees it."""
+        if isinstance(target, np.ndarray):
+            self._rc_access(target, write=False)
+            return target
+        ref = self._local_ref(target)
+        self._rc_access(ref, write=False)
+        return ref.read()
+
+    def local_write(self, target, value) -> None:
+        """Write my section (or an element) of a coarray — or a local
+        numpy buffer — through the instrumented access path."""
+        if isinstance(target, np.ndarray):
+            self._rc_access(target, write=True)
+            target[...] = value
+            return
+        ref = self._local_ref(target)
+        self._rc_access(ref, write=True)
+        ref.write(value)

@@ -94,15 +94,18 @@ class PendingOp:
       before signalling other images.
     """
 
+    #: process-wide fallback only; machines pass their own ``op_id`` so
+    #: id streams are reproducible run-to-run (see Machine.next_op_id)
     _ids = itertools.count()
 
     __slots__ = ("op_id", "kind", "classes", "local_data", "local_op",
-                 "released", "started")
+                 "released", "started", "rc")
 
     def __init__(self, kind: str, reads_local: bool, writes_local: bool,
                  local_data: Future, local_op: Future,
-                 released: Optional[Future] = None):
-        self.op_id = next(PendingOp._ids)
+                 released: Optional[Future] = None,
+                 op_id: Optional[int] = None):
+        self.op_id = op_id if op_id is not None else next(PendingOp._ids)
         self.kind = kind
         self.classes = classes_of(reads_local, writes_local)
         self.local_data = local_data
@@ -113,6 +116,8 @@ class PendingOp:
         #: event_notify must not wait for it (that would deadlock a
         #: notify that *is* the predicate).
         self.started = True
+        #: race-detector clock material (analysis.racecheck), when enabled
+        self.rc = None
 
     def __repr__(self) -> str:
         return (f"<PendingOp #{self.op_id} {self.kind} "
@@ -132,6 +137,8 @@ class Activation:
         self.finish_frame = finish_frame
         self.name = name
         self._pending: list[PendingOp] = []
+        #: race-detector thread clock (analysis.racecheck), when enabled
+        self.rc = None
 
     def current_frame(self):
         """The finish frame this activation's implicit ops count toward:

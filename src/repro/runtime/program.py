@@ -54,7 +54,8 @@ class Machine:
 
     def __init__(self, n_images: int, params: Optional[MachineParams] = None,
                  seed: int = 0, tracer=None,
-                 faults: Optional[FaultPlan] = None):
+                 faults: Optional[FaultPlan] = None,
+                 racecheck: bool = False):
         if params is None:
             params = MachineParams.uniform(n_images)
         if params.n_images != n_images:
@@ -109,7 +110,16 @@ class Machine:
         #: detector scratch, lock grants, ...)
         self.scratch: dict = {}
         self._tokens = itertools.count(1)
+        self._op_ids = itertools.count()
         self._main_tasks: list[Task] = []
+
+        #: happens-before race detector, or None (the default — every
+        #: instrumentation hook is guarded by one `is None` test, so a
+        #: disabled run pays nothing)
+        self.racecheck = None
+        if racecheck:
+            from repro.analysis.racecheck import RaceDetector
+            self.racecheck = RaceDetector(self)
 
         self.am.ensure_registered(_EVENT_POST, self._handle_event_post)
 
@@ -184,6 +194,12 @@ class Machine:
 
     def next_token(self) -> int:
         return next(self._tokens)
+
+    def next_op_id(self) -> int:
+        """Per-machine pending-op id stream (reproducible run-to-run; op
+        ids in traces and race reports do not depend on how many machines
+        the process built earlier)."""
+        return next(self._op_ids)
 
     # ------------------------------------------------------------------ #
     # Services for the core operation modules
@@ -357,7 +373,8 @@ def run_spmd(kernel: Callable, n_images: int,
              params: Optional[MachineParams] = None, seed: int = 0,
              args: tuple = (), max_events: Optional[int] = None,
              setup: Optional[Callable[[Machine], None]] = None,
-             faults: Optional[FaultPlan] = None
+             faults: Optional[FaultPlan] = None,
+             racecheck: bool = False
              ) -> tuple[Machine, list[Any]]:
     """Build a machine, run ``kernel`` SPMD on every image, return
     ``(machine, per-rank results)``.
@@ -368,7 +385,8 @@ def run_spmd(kernel: Callable, n_images: int,
     :class:`~repro.net.faults.FaultPlan` (chaos mode); pair it with
     ``params.reliable=True`` unless the stall is the point.
     """
-    machine = Machine(n_images, params=params, seed=seed, faults=faults)
+    machine = Machine(n_images, params=params, seed=seed, faults=faults,
+                      racecheck=racecheck)
     if setup is not None:
         setup(machine)
     machine.launch(kernel, args=args)

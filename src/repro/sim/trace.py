@@ -104,6 +104,11 @@ class IntervalAccumulator:
     def add(self, stream: int, duration: float) -> None:
         if duration < 0:
             raise ValueError(f"negative duration {duration!r}")
+        if stream < 0 or stream >= self.n_streams:
+            # A negative stream would silently wrap via numpy indexing and
+            # credit another stream's busy time.
+            raise IndexError(
+                f"stream {stream} out of range [0, {self.n_streams})")
         self._busy[stream] += duration
 
     @property

@@ -1,0 +1,67 @@
+"""The race detector over the paper's applications: every benchmark under
+its default synchronization discipline must audit clean, and the
+deliberately racy RandomAccess variant must be flagged."""
+
+from repro.apps.producer_consumer import PCConfig, run_producer_consumer
+from repro.apps.randomaccess import RAConfig, run_randomaccess
+from repro.apps.uts import TreeParams, UTSConfig, run_uts
+
+_SMALL_TREE = UTSConfig(tree=TreeParams(b0=4, max_depth=6, seed=19))
+
+
+class TestCleanUnderDefaultSync:
+    def test_uts_is_clean(self):
+        result = run_uts(4, _SMALL_TREE, racecheck=True)
+        assert result.races == 0
+
+    def test_randomaccess_function_shipping_is_clean(self):
+        config = RAConfig(updates_per_image=32,
+                          variant="function-shipping")
+        result = run_randomaccess(4, config, verify=True, racecheck=True)
+        assert result.races == 0
+        assert result.errors == 0
+
+    def test_producer_consumer_cofence_is_clean(self):
+        config = PCConfig(iterations=50, variant="cofence")
+        result = run_producer_consumer(4, config, racecheck=True)
+        assert result.races == 0
+
+    def test_producer_consumer_finish_is_clean(self):
+        config = PCConfig(iterations=25, variant="finish")
+        result = run_producer_consumer(4, config, racecheck=True)
+        assert result.races == 0
+
+
+class TestRacyVariantsFlagged:
+    def test_randomaccess_get_update_put_is_flagged(self):
+        # the HPCC reference style: get → xor → put, no lock between the
+        # two halves — another image's update can land in the window
+        config = RAConfig(updates_per_image=32, variant="get-update-put")
+        result = run_randomaccess(4, config, racecheck=True)
+        assert result.races > 0
+
+    def test_producer_consumer_events_duplicate_targets(self):
+        # The events variant synchronizes the *source* buffer reuse via
+        # dest events, which is what the paper's Fig. 11 needs — but two
+        # same-round explicit copies that hit the same random target
+        # carry no mutual ordering in the model, and the detector calls
+        # that out.  Every reported pair must be a copy/copy conflict on
+        # the shared inbuf, never a source-buffer (reuse) race.
+        config = PCConfig(iterations=50, variant="events")
+
+        # run through run_spmd so the reports themselves are inspectable
+        import numpy as np
+
+        from repro.apps.producer_consumer import COPY_BYTES, pc_kernel
+        from repro.runtime.program import run_spmd
+
+        def setup(machine):
+            machine.coarray("pc_inbuf", shape=COPY_BYTES, dtype=np.uint8)
+            machine.make_event(name="pc_ev")
+
+        machine, _ = run_spmd(pc_kernel, 4, args=(config,), setup=setup,
+                              racecheck=True)
+        for report in machine.racecheck.races:
+            assert "pc_inbuf" in report.location
+            assert report.a.op.startswith("copy.")
+            assert report.b.op.startswith("copy.")

@@ -10,9 +10,10 @@ def spmd():
     """Run a kernel SPMD and return (machine, results)."""
 
     def _run(kernel, n=4, setup=None, params=None, seed=0, args=(),
-             max_events=2_000_000):
+             max_events=2_000_000, racecheck=False):
         return run_spmd(kernel, n_images=n, setup=setup, params=params,
-                        seed=seed, args=args, max_events=max_events)
+                        seed=seed, args=args, max_events=max_events,
+                        racecheck=racecheck)
 
     return _run
 

@@ -199,3 +199,42 @@ def test_cofence_stats(spmd):
     m, _ = spmd(kernel, n=2, setup=_setup)
     assert m.stats["cofence.calls"] == 2
     assert m.stats["cofence.waited"] >= 1
+
+
+class TestUpwardRecorded:
+    """``upward`` cannot change execution order in the simulator, but it
+    must be *observable*: a stats counter and, when the race detector is
+    on, the per-fence class annotation (regression: it used to be
+    silently dropped)."""
+
+    def test_upward_counts_per_class(self, spmd):
+        def kernel(img):
+            T = img.machine.coarray_by_name("T")
+            img.copy_async(T.ref((img.rank + 1) % img.nimages), np.ones(8))
+            yield from img.cofence(upward=READ)
+            yield from img.cofence(downward=ANY)
+            yield from img.barrier()
+
+        m, _ = spmd(kernel, n=2, setup=_setup)
+        assert m.stats["cofence.upward.read"] == 2
+        # a fence without upward= must not touch the counters
+        assert "cofence.upward.None" not in m.stats
+        assert "cofence.upward.write" not in m.stats
+
+    def test_upward_annotation_reaches_detector(self, spmd):
+        def kernel(img):
+            T = img.machine.coarray_by_name("T")
+            img.copy_async(T.ref((img.rank + 1) % img.nimages), np.ones(8))
+            yield from img.cofence(downward=READ, upward=WRITE)
+            yield from img.barrier()
+
+        m, _ = spmd(kernel, n=2, setup=_setup, racecheck=True)
+        recorded = [(down, up) for _thread, down, up, _t in m.racecheck.fences]
+        assert (READ, WRITE) in recorded
+
+    def test_upward_is_validated(self, spmd):
+        def kernel(img):
+            yield from img.cofence(upward="sideways")
+
+        with pytest.raises(TaskFailed):
+            spmd(kernel, n=1, setup=_setup)

@@ -172,3 +172,41 @@ class TestReorderOracle:
         ]
         orders = set(ReorderOracle.legal_initiation_orders(program))
         assert orders == {("a", "b"), ("b", "a")}
+
+
+class TestPerMachineOpIds:
+    """Pending-op ids come from the machine, not a process-global counter
+    (regression: the class-level fallback made ids depend on how many
+    machines the process had built earlier, so traces and race reports
+    were not reproducible run-to-run)."""
+
+    def test_identical_runs_get_identical_id_streams(self):
+        import numpy as np
+
+        from repro.runtime.program import run_spmd
+
+        def setup(m):
+            m.coarray("T", shape=8, dtype=np.float64)
+
+        def kernel(img):
+            T = img.machine.coarray_by_name("T")
+            ids = []
+            for _ in range(3):
+                op = img.copy_async(T.ref((img.rank + 1) % img.nimages),
+                                    np.ones(8))
+                ids.append(op.pending_op.op_id)
+            yield from img.cofence()
+            yield from img.barrier()
+            return ids
+
+        _, first = run_spmd(kernel, 2, setup=setup)
+        _, second = run_spmd(kernel, 2, setup=setup)
+        assert first == second
+        flat = sorted(i for ids in first for i in ids)
+        # fresh machine ⇒ the stream restarts from 0
+        assert flat[0] == 0
+
+    def test_fallback_counter_still_works_without_a_machine(self):
+        op = PendingOp("bare", True, False, Future("ld"), Future("lo"))
+        other = PendingOp("bare", True, False, Future("ld"), Future("lo"))
+        assert other.op_id > op.op_id

@@ -25,6 +25,25 @@ class TestTracerUnit:
         tr.instant(0, "post", 5e-6)
         assert tr.events[0]["ph"] == "i"
 
+    def test_instant_scope_is_thread(self):
+        # regression: without "s": "t" Perfetto draws instants as
+        # process-wide vertical lines instead of track-local marks
+        tr = ChromeTracer()
+        tr.instant(1, "notify", 2e-6)
+        (ev,) = tr.events
+        assert ev["s"] == "t"
+        assert ev["tid"] == 1
+
+    def test_saved_instants_keep_thread_scope(self, tmp_path):
+        tr = ChromeTracer()
+        tr.instant(0, "post", 1e-6)
+        tr.span(0, "compute", 0, 1e-6)
+        path = tmp_path / "trace.json"
+        tr.save(str(path))
+        data = json.loads(path.read_text())
+        instants = [e for e in data["traceEvents"] if e.get("ph") == "i"]
+        assert instants and all(e["s"] == "t" for e in instants)
+
     def test_flow_pairs(self):
         tr = ChromeTracer()
         tr.flow("spawn", 0, 1e-6, 3, 2e-6)

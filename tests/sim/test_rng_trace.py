@@ -110,3 +110,14 @@ class TestIntervalAccumulator:
     def test_invalid_size(self):
         with pytest.raises(ValueError):
             IntervalAccumulator(0)
+
+    def test_stream_out_of_range_rejected(self):
+        # regression: a negative stream used to wrap via numpy indexing
+        # and silently credit the last stream's busy time
+        acc = IntervalAccumulator(3)
+        with pytest.raises(IndexError):
+            acc.add(-1, 1.0)
+        with pytest.raises(IndexError):
+            acc.add(3, 1.0)
+        acc.add(2, 1.0)
+        assert acc.busy.tolist() == [0.0, 0.0, 1.0]
