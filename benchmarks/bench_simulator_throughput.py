@@ -3,69 +3,75 @@
 Not a paper figure — this measures the machine the reproduction runs
 *on*, so regressions in the event loop or the AM stack show up directly
 (the per-event cost bounds the problem sizes every other bench can
-afford)."""
+afford).
 
-import numpy as np
+The workload bodies live in module-level ``run_*`` functions so that
+``benchmarks/run_all.py`` (the perf-regression harness behind
+``BENCH_simulator.json``) measures exactly the same code as the
+pytest-benchmark tests below.
+"""
 
 from repro.sim.engine import Simulator
 from repro.sim.tasks import Delay, Task
 from repro.runtime.program import run_spmd
 
-
-def test_raw_event_loop_throughput(benchmark):
-    """Pure engine: schedule/execute chains of null events."""
-    N = 50_000
-
-    def run():
-        sim = Simulator()
-        count = [0]
-
-        def tick():
-            count[0] += 1
-            if count[0] < N:
-                sim.schedule(1e-9, tick)
-
-        sim.schedule(0.0, tick)
-        sim.run()
-        return count[0]
-
-    assert benchmark(run) == N
+RAW_EVENTS = 50_000
+TASK_STEPS, TASK_COUNT = 2_000, 8
+AM_ROUNDS, AM_IMAGES = 300, 4
 
 
-def test_task_switch_throughput(benchmark):
+def run_raw_event_loop(n: int = RAW_EVENTS) -> int:
+    """Pure engine: schedule/execute a chain of null events."""
+    sim = Simulator()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < n:
+            sim.schedule(1e-9, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    return count[0]
+
+
+def run_task_switch(steps: int = TASK_STEPS, tasks: int = TASK_COUNT) -> bool:
     """Generator tasks yielding delays (the hot path of every kernel)."""
-    STEPS, TASKS = 2_000, 8
+    sim = Simulator()
 
-    def run():
-        sim = Simulator()
+    def worker():
+        for _ in range(steps):
+            yield Delay(1e-9)
 
-        def worker():
-            for _ in range(STEPS):
-                yield Delay(1e-9)
-
-        tasks = [Task(sim, worker()) for _ in range(TASKS)]
-        sim.run()
-        return all(t.done_future.done for t in tasks)
-
-    assert benchmark(run)
+    spawned = [Task(sim, worker()) for _ in range(tasks)]
+    sim.run()
+    return all(t.done_future.done for t in spawned)
 
 
-def test_am_round_trip_throughput(benchmark):
+def run_am_round_trip(rounds: int = AM_ROUNDS, images: int = AM_IMAGES) -> int:
     """Full-stack messaging: spawn round trips through AM + transport +
     finish counting."""
-    ROUNDS = 300
 
     def remote(img):
         yield from img.compute(1e-8)
 
     def kernel(img):
         yield from img.finish_begin()
-        for _ in range(ROUNDS):
+        for _ in range(rounds):
             yield from img.spawn(remote, (img.rank + 1) % img.nimages)
         yield from img.finish_end()
 
-    def run():
-        machine, _ = run_spmd(kernel, 4)
-        return machine.stats["spawn.executed"]
+    machine, _ = run_spmd(kernel, images)
+    return machine.stats["spawn.executed"]
 
-    assert benchmark(run) == 4 * ROUNDS
+
+def test_raw_event_loop_throughput(benchmark):
+    assert benchmark(run_raw_event_loop) == RAW_EVENTS
+
+
+def test_task_switch_throughput(benchmark):
+    assert benchmark(run_task_switch)
+
+
+def test_am_round_trip_throughput(benchmark):
+    assert benchmark(run_am_round_trip) == AM_IMAGES * AM_ROUNDS

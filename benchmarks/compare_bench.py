@@ -1,0 +1,64 @@
+"""Compare two ``run_all.py`` result files and fail on regression.
+
+Usage (what the CI ``perf-smoke`` job runs)::
+
+    PYTHONPATH=src python benchmarks/run_all.py --quick --out /tmp/now.json
+    python benchmarks/compare_bench.py BENCH_simulator.json /tmp/now.json
+
+Exits non-zero when any benchmark's *calibration-normalized* cost grew
+by more than ``--threshold`` (default 15%) over the committed reference.
+Normalized costs divide out the machine's raw interpreter speed, so the
+gate transfers between the committing machine and CI hardware; residual
+noise is what the threshold absorbs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("reference", type=Path,
+                    help="committed BENCH_simulator.json")
+    ap.add_argument("current", type=Path,
+                    help="fresh run_all.py output to check")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed fractional growth in normalized cost "
+                         "(default 0.15 = 15%%)")
+    args = ap.parse_args()
+
+    ref = json.loads(args.reference.read_text())
+    cur = json.loads(args.current.read_text())
+
+    failures = []
+    for name, ref_bench in sorted(ref["benches"].items()):
+        cur_bench = cur["benches"].get(name)
+        if cur_bench is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        ref_cost = ref_bench["normalized_cost"]
+        cur_cost = cur_bench["normalized_cost"]
+        growth = cur_cost / ref_cost - 1.0
+        status = "FAIL" if growth > args.threshold else "ok"
+        print(f"{status:4s} {name}: normalized cost {ref_cost:.3f} -> "
+              f"{cur_cost:.3f} ({growth:+.1%})")
+        if growth > args.threshold:
+            failures.append(
+                f"{name}: normalized cost grew {growth:+.1%} "
+                f"(threshold {args.threshold:.0%})")
+
+    if failures:
+        print("\nperformance regression detected:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        raise SystemExit(1)
+    print("\nno regression beyond threshold "
+          f"({args.threshold:.0%}) — {len(ref['benches'])} benches ok")
+
+
+if __name__ == "__main__":
+    main()

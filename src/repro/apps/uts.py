@@ -30,6 +30,7 @@ from __future__ import annotations
 import hashlib
 import math
 import struct
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
@@ -161,7 +162,7 @@ class _UTSState:
         self.queue: list[tuple[bytes, int]] = []
         self.nodes = 0
         self.processing = False
-        self.lifelines_in: list[int] = []   # team ranks waiting on me
+        self.lifelines_in: deque[int] = deque()  # team ranks waiting on me
         self.lifelines_set = False
 
 
@@ -225,10 +226,10 @@ def _process_loop(img, config: UTSConfig) -> Generator[Any, Any, None]:
             # Fig. 15 lines 7-11: if someone needs work, push them some.
             while (st.lifelines_in
                    and len(st.queue) > config.share_threshold):
-                target = st.lifelines_in.pop(0)
+                target = st.lifelines_in.popleft()
                 chunk = _take_chunk(machine, st, config)
                 if not chunk:
-                    st.lifelines_in.insert(0, target)
+                    st.lifelines_in.appendleft(target)
                     break
                 machine.stats.incr("uts.lifeline_pushes")
                 yield from img.spawn(_push_work, target, pack_items(chunk))

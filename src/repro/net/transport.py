@@ -193,6 +193,10 @@ class Network:
         self._tx_next: dict[tuple, int] = {}
         self._tx_pending: dict[tuple, _PendingSend] = {}
         self._rx_states: dict[tuple, _RxState] = {}
+        #: open delivery batches keyed by ``(src, dst, delivery_time)`` —
+        #: back-to-back arrivals landing at the same instant on a link
+        #: share one simulator event (see _schedule_delivery)
+        self._arrivals: dict[tuple, list] = {}
         #: short human-readable records of lost transmissions (bounded;
         #: the liveness watchdog quotes these in its diagnostic)
         self.lost: list[str] = []
@@ -256,6 +260,29 @@ class Network:
                 self._jitter_rng.uniform(-1.0, 1.0))
         return lat
 
+    def _schedule_delivery(self, src: int, dst: int, t: float,
+                           fn: Callable, *args: Any) -> None:
+        """Schedule a receiver-side delivery callback at time ``t``,
+        coalescing with any delivery already due at the same instant on
+        the same directed link.  With a serial NIC and ``o_send > 0``
+        same-instant arrivals essentially never happen, but zero-overhead
+        configurations produce long trains of them; one shared event then
+        replaces N heap entries.  Batch order is scheduling order, which
+        is exactly the (time, seq) order separate events would fire in."""
+        key = (src, dst, t)
+        batch = self._arrivals.get(key)
+        if batch is not None:
+            batch.append((fn, args))
+            self.stats.incr("net.deliveries_coalesced")
+            return
+        self._arrivals[key] = batch = [(fn, args)]
+        self.sim.schedule_at(t, self._run_delivery_batch, key, batch)
+
+    def _run_delivery_batch(self, key: tuple, batch: list) -> None:
+        del self._arrivals[key]
+        for fn, args in batch:
+            fn(*args)
+
     def _record_drop(self, msg: Message, t: float) -> None:
         self.stats.incr("net.drops")
         self.stats.incr(f"net.drops.{msg.kind}")
@@ -286,15 +313,16 @@ class Network:
         if self.tracer is not None:
             self.tracer.flow(msg.kind, msg.src, inject_end, msg.dst,
                              arrive, args={"bytes": msg.size})
-        self.sim.schedule_at(arrive + self.params.o_recv,
-                             self._deliver, msg, receipt, lat)
+        self._schedule_delivery(msg.src, msg.dst, arrive + self.params.o_recv,
+                                self._deliver, msg, receipt, lat)
         if duplicated:
             # Without the reliable protocol there is no receiver-side
             # suppression: the handler really runs twice (chaos mode).
             self.stats.incr("net.dups")
             arrive2 = arrive + f.duplicate_lag(lat)
-            self.sim.schedule_at(arrive2 + self.params.o_recv,
-                                 self._deliver, msg, receipt, lat)
+            self._schedule_delivery(msg.src, msg.dst,
+                                    arrive2 + self.params.o_recv,
+                                    self._deliver, msg, receipt, lat)
 
     def _deliver(self, msg: Message, receipt: DeliveryReceipt,
                  lat: float) -> None:
@@ -347,13 +375,15 @@ class Network:
                 self.tracer.flow(msg.kind, msg.src, inject_end, msg.dst,
                                  arrive, args={"bytes": msg.size,
                                                "attempt": pend.attempt})
-            self.sim.schedule_at(arrive + self.params.o_recv,
-                                 self._deliver_reliable, pend, lat)
+            self._schedule_delivery(msg.src, msg.dst,
+                                    arrive + self.params.o_recv,
+                                    self._deliver_reliable, pend, lat)
             if duplicated:
                 self.stats.incr("net.dups")
                 arrive2 = arrive + f.duplicate_lag(lat)
-                self.sim.schedule_at(arrive2 + self.params.o_recv,
-                                     self._deliver_reliable, pend, lat)
+                self._schedule_delivery(msg.src, msg.dst,
+                                        arrive2 + self.params.o_recv,
+                                        self._deliver_reliable, pend, lat)
         rto = pend.rto0 * (self.params.rto_backoff ** pend.attempt)
         pend.timer = self.sim.schedule_at(inject_end + rto,
                                           self._retransmit, pend)
@@ -407,7 +437,7 @@ class Network:
         pend.acked = True
         self._tx_pending.pop((pend.link, pend.lseq), None)
         if pend.timer is not None:
-            pend.timer.cancel()
+            self.sim.cancel(pend.timer)
             pend.timer = None
         self.stats.incr("net.acks")
         if pend.receipt.delivered is not None:

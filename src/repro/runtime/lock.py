@@ -11,6 +11,7 @@ granting.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from typing import Any, Generator, TYPE_CHECKING
 
 from repro.sim.tasks import Future
@@ -36,8 +37,8 @@ class LockVar:
         self.name = name or f"_lock{next(LockVar._anon)}"
         # Per-member world rank: holder token or None, plus FIFO waiters.
         self._held: dict[int, bool] = {w: False for w in team.members}
-        self._queues: dict[int, list[tuple[int, int]]] = {
-            w: [] for w in team.members
+        self._queues: dict[int, deque[tuple[int, int]]] = {
+            w: deque() for w in team.members
         }
         self._ensure_handlers()
 
@@ -77,7 +78,7 @@ class LockVar:
                 f"lock {self.name!r}@{home} released while not held"
             )
         if self._queues[home]:
-            requester, token = self._queues[home].pop(0)
+            requester, token = self._queues[home].popleft()
             self._grant(home, requester, token)
         else:
             self._held[home] = False

@@ -95,7 +95,11 @@ class Machine:
         self.gasnet = Gasnet(self.am)
         self.busy = IntervalAccumulator(n_images)
 
-        self.team_world = Team(range(n_images))
+        # Team ids are allocated per machine (not from Team's process-wide
+        # fallback counter) so back-to-back runs in one process produce
+        # identical ids in finish-frame keys, AM payloads and traces.
+        self.team_world = Team(range(n_images), team_id=0)
+        self._team_ids = itertools.count(1)
         self._teams: dict[int, Team] = {self.team_world.id: self.team_world}
         self._teams_by_members: dict[tuple, Team] = {
             tuple(self.team_world.members): self.team_world
@@ -143,7 +147,7 @@ class Machine:
         key = tuple(members)
         team = self._teams_by_members.get(key)
         if team is None:
-            team = Team(members, parent=parent)
+            team = Team(members, team_id=next(self._team_ids), parent=parent)
             self._teams_by_members[key] = team
             self._teams[team.id] = team
         return team

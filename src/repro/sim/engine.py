@@ -1,20 +1,63 @@
 """The discrete-event engine.
 
-A :class:`Simulator` owns a virtual clock and a priority queue of pending
-events.  An *event* is simply a callback scheduled to fire at a given virtual
-time.  Ties are broken by insertion order, which makes every run bit-for-bit
-reproducible.
+A :class:`Simulator` owns a virtual clock and a queue of pending events.
+An *event* is simply a callback scheduled to fire at a given virtual
+time.  Ties are broken by insertion order, which makes every run
+bit-for-bit reproducible.
 
 Virtual time is a float in *seconds*; the network and runtime layers express
 latencies and occupancies in the same unit, so the numbers produced by the
 benchmark harness read directly as "simulated execution time in seconds".
+
+Hot-path design (DESIGN.md §9)
+------------------------------
+The per-event cost of this loop bounds the problem sizes every paper
+benchmark can afford, so the queue is built from three structures instead
+of one heap of event objects:
+
+- a **binary heap of plain lists** ``[time, seq, fn, args]`` — list
+  entries compare element-wise in C (time first, then the globally unique
+  ``seq``), so ordering never calls back into Python, and no per-event
+  object is allocated;
+- a **same-timestamp ready deque** — events scheduled *at the current
+  instant* while no heap entry is due at that same instant are appended
+  to a FIFO deque and bypass the heap entirely (``call_soon`` chains and
+  zero-delay cascades cost two deque ops instead of two heap ops);
+- a **single-event staging slot** — when the whole queue is empty, the
+  next scheduled event parks in ``_single`` instead of the heap.  A
+  sequential chain (one activation computing step by step — the dominant
+  pattern in every kernel) then never touches the heap at all.
+
+Invariants that keep the three structures equivalent to one totally
+ordered queue:
+
+1. ``_single`` is only occupied while the heap and the ready deque are
+   both empty (so it is trivially the global minimum, and its timestamp
+   is strictly in the future), and it is flushed into the heap the moment
+   anything else is scheduled;
+2. the ready deque only holds events stamped at the current virtual
+   time, appended while no heap entry was due at that same instant — so
+   deque order equals (time, seq) order;
+3. the run loop drains ``_single``, then the ready deque, then the heap.
+
+Cancellation marks the entry in place (``entry[2] = None``) and counts it
+in a stale counter, which keeps :attr:`Simulator.pending_events` O(1);
+stale entries are skipped (and the counter repaid) when they surface.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, Optional
+from collections import deque
+from typing import Any, Callable, List, Optional
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: A scheduled event: ``[time, seq, fn, args]``.  Slot 2 (``fn``) doubles
+#: as the liveness mark — ``None`` means cancelled or already fired,
+#: which is what makes late :meth:`Simulator.cancel` calls harmless.
+Event = List[Any]
 
 
 class SimulationError(RuntimeError):
@@ -27,26 +70,6 @@ class LivenessError(SimulationError):
     quiescence without completion (e.g. a finish wave stalled on a lost
     counter message).  The message carries the watchdog's diagnostic:
     stalled images and their counter snapshots."""
-
-
-class _Event:
-    """A scheduled callback.  Cancelled events stay in the heap but are
-    skipped when popped (lazy deletion keeps cancellation O(1))."""
-
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
-
-    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
-        self.time = time
-        self.seq = seq
-        self.fn = fn
-        self.args = args
-        self.cancelled = False
-
-    def __lt__(self, other: "_Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
-
-    def cancel(self) -> None:
-        self.cancelled = True
 
 
 class Simulator:
@@ -65,13 +88,27 @@ class Simulator:
     2.0
     """
 
+    __slots__ = ("_now", "_heap", "_ready", "_single", "_seq", "_stale",
+                 "_events_processed", "_running", "_drain_hooks",
+                 "_task_seq", "_busy")
+
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._heap: list[_Event] = []
-        self._seq = itertools.count()
+        self._heap: list[Event] = []
+        self._ready: deque[Event] = deque()
+        self._single: Optional[Event] = None
+        self._seq = 0
+        self._stale = 0          # cancelled entries still sitting in a queue
         self._events_processed = 0
         self._running = False
         self._drain_hooks: list[Callable[["Simulator"], None]] = []
+        self._task_seq = 0       # per-simulator task-id stream (tasks.py)
+        #: True whenever the heap or the ready deque holds entries —
+        #: conservatively sticky (may stay True after they drain mid-run,
+        #: re-cleared at the next natural drain).  Lets the staging check
+        #: in schedule() read one flag instead of two containers; staging
+        #: requires _busy False, which proves both containers empty.
+        self._busy = False
 
     # ------------------------------------------------------------------ #
     # Clock and introspection
@@ -84,38 +121,166 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        """Number of events executed so far (diagnostic)."""
+        """Number of events executed so far (diagnostic).  Refreshed at
+        loop boundaries (drain, horizon, errors, return); a callback
+        reading it mid-run may see a slightly stale value."""
         return self._events_processed
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1):
+        derived from container sizes and the stale counter instead of
+        scanning the heap."""
+        n = len(self._heap) + len(self._ready) - self._stale
+        return n + 1 if self._single is not None else n
+
+    def next_task_id(self) -> int:
+        """Allocate a task id.  Lives on the simulator (not on a class
+        attribute) so ids restart at 1 for every machine and back-to-back
+        runs in one process name their tasks identically."""
+        self._task_seq += 1
+        return self._task_seq
 
     # ------------------------------------------------------------------ #
     # Scheduling
     # ------------------------------------------------------------------ #
 
-    def schedule(self, delay: float, fn: Callable, *args: Any) -> _Event:
+    # The ``seq`` slot of an entry is only ever consulted by heap
+    # comparisons, so it is assigned lazily: a staged entry carries 0 and
+    # receives its seq the moment it is flushed into the heap — before
+    # the flushing entry draws its own, which preserves creation order
+    # exactly.  Ready-deque entries carry -1 (never compared; the value
+    # lets :meth:`cancel` tell a live ready entry apart from a fired
+    # staged entry, which the fast loop does not bother marking).
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
-        if delay < 0:
+        now = self._now
+        t = now + delay
+        entry: Event = [t, 0, fn, args]
+        single = self._single
+        if single is None:
+            if t > now:
+                if self._busy:
+                    self._seq = entry[1] = self._seq + 1
+                    _heappush(self._heap, entry)
+                else:
+                    self._single = entry
+                return entry
+        else:
+            self._seq = single[1] = self._seq + 1
+            _heappush(self._heap, single)
+            self._single = None
+            self._busy = True
+            if t > now:
+                self._seq = entry[1] = self._seq + 1
+                _heappush(self._heap, entry)
+                return entry
+        if delay < 0.0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.schedule_at(self._now + delay, fn, *args)
+        heap = self._heap
+        if self._ready or not heap or heap[0][0] > t:
+            entry[1] = -1
+            self._ready.append(entry)
+        else:
+            self._seq = entry[1] = self._seq + 1
+            _heappush(heap, entry)
+        self._busy = True
+        return entry
 
-    def schedule_at(self, time: float, fn: Callable, *args: Any) -> _Event:
+    def schedule_at(self, time: float, fn: Callable, *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
-        if time < self._now:
+        now = self._now
+        if time < now:
             raise SimulationError(
-                f"cannot schedule into the past: t={time!r} < now={self._now!r}"
+                f"cannot schedule into the past: t={time!r} < now={now!r}"
             )
-        ev = _Event(time, next(self._seq), fn, args)
-        heapq.heappush(self._heap, ev)
-        return ev
+        entry: Event = [time, 0, fn, args]
+        single = self._single
+        if single is None:
+            if time > now:
+                if self._busy:
+                    self._seq = entry[1] = self._seq + 1
+                    _heappush(self._heap, entry)
+                else:
+                    self._single = entry
+                return entry
+        else:
+            self._seq = single[1] = self._seq + 1
+            _heappush(self._heap, single)
+            self._single = None
+            self._busy = True
+            if time > now:
+                self._seq = entry[1] = self._seq + 1
+                _heappush(self._heap, entry)
+                return entry
+        heap = self._heap
+        if self._ready or not heap or heap[0][0] > time:
+            entry[1] = -1
+            self._ready.append(entry)
+        else:
+            self._seq = entry[1] = self._seq + 1
+            _heappush(heap, entry)
+        self._busy = True
+        return entry
 
-    def call_soon(self, fn: Callable, *args: Any) -> _Event:
+    def call_soon(self, fn: Callable, *args: Any) -> Event:
         """Schedule ``fn(*args)`` at the current time, after already-queued
         events at this timestamp."""
-        return self.schedule(0.0, fn, *args)
+        now = self._now
+        entry: Event = [now, 0, fn, args]
+        single = self._single
+        if single is not None:
+            self._seq = single[1] = self._seq + 1
+            _heappush(self._heap, single)
+            self._single = None
+        heap = self._heap
+        if self._ready or not heap or heap[0][0] > now:
+            entry[1] = -1
+            self._ready.append(entry)
+        else:
+            self._seq = entry[1] = self._seq + 1
+            _heappush(heap, entry)
+        self._busy = True
+        return entry
+
+    def cancel(self, entry: Event) -> None:
+        """Cancel a scheduled event.  O(1); safe to call after the event
+        fired (a no-op then).  A staged entry is removed outright (so the
+        staging slot only ever holds live events); a queued entry is
+        marked in place and skipped when it surfaces (lazy deletion),
+        with the stale counter keeping :attr:`pending_events` exact in
+        the meantime."""
+        if entry[2] is None:
+            return  # already fired (ready/heap) or already cancelled
+        if entry is self._single:
+            self._single = None
+            entry[2] = None
+            entry[3] = ()
+            return
+        if entry[1] == 0 and entry[0] <= self._now:
+            # A fired staged entry: seq still 0 (never flushed into the
+            # heap) and its time has passed.  The fast loop skips the
+            # fired-mark for staged entries, so catch it here instead.
+            return
+        entry[2] = None
+        entry[3] = ()
+        self._stale += 1
+
+    def quiescent_at_now(self) -> bool:
+        """True when no live event is due at the current instant — i.e. a
+        ``call_soon`` issued now would fire immediately, with nothing in
+        between.  The task layer keys its synchronous continuations on
+        this, which is what makes them order-identical to the scheduled
+        path (DESIGN.md §9)."""
+        if self._ready:
+            return False
+        heap = self._heap
+        while heap and heap[0][2] is None:
+            _heappop(heap)
+            self._stale -= 1
+        # _single, if occupied, is strictly in the future (invariant 1).
+        return not heap or heap[0][0] > self._now
 
     def add_drain_hook(self, fn: Callable[["Simulator"], None]) -> None:
         """Register ``fn(sim)`` to run when :meth:`run`'s event queue
@@ -134,15 +299,39 @@ class Simulator:
 
     def step(self) -> bool:
         """Execute the next event.  Returns False if the queue is empty."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            if ev.cancelled:
-                continue
-            self._now = ev.time
-            self._events_processed += 1
-            ev.fn(*ev.args)
+        entry = self._single
+        if entry is not None:
+            # Staged entries are always live (cancel removes them).
+            self._single = None
+            self._fire(entry)
             return True
+        ready = self._ready
+        while ready:
+            entry = ready.popleft()
+            if entry[2] is None:
+                self._stale -= 1
+                continue
+            self._fire(entry)
+            return True
+        heap = self._heap
+        while heap:
+            entry = _heappop(heap)
+            if entry[2] is None:
+                self._stale -= 1
+                continue
+            self._fire(entry)
+            return True
+        self._busy = False
         return False
+
+    def _fire(self, entry: Event) -> None:
+        """Run one live event (non-hot path helper; the fast loop inlines
+        this)."""
+        fn = entry[2]
+        entry[2] = None
+        self._now = entry[0]
+        self._events_processed += 1
+        fn(*entry[3])
 
     def run(
         self,
@@ -163,33 +352,142 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
-        budget = max_events
         try:
-            while True:
-                while self._heap:
-                    # Peek for the `until` horizon without disturbing order.
-                    nxt = self._heap[0]
-                    if nxt.cancelled:
-                        heapq.heappop(self._heap)
-                        continue
-                    if until is not None and nxt.time > until:
-                        self._now = until
-                        return
-                    if budget is not None:
-                        if budget == 0:
-                            raise SimulationError(
-                                f"max_events exhausted at t={self._now!r} "
-                                f"({self._events_processed} events processed)"
-                            )
-                        budget -= 1
-                    self.step()
-                # Natural drain: give the watchdog hooks a look.  A hook
-                # may raise, or schedule new events (resuming the run).
-                if not self._drain_hooks:
-                    return
-                for fn in list(self._drain_hooks):
-                    fn(self)
-                if not self._heap:
-                    return
+            if until is None and max_events is None:
+                self._run_fast()
+            else:
+                self._run_guarded(until, max_events)
         finally:
             self._running = False
+
+    def _run_fast(self) -> None:
+        """The common case: no horizon, no budget.  Everything hot lives
+        in locals and the ``until``/budget checks are hoisted out
+        entirely; the three firing sites are intentionally unrolled."""
+        heap = self._heap
+        ready = self._ready
+        pop = _heappop
+        popleft = ready.popleft
+        processed = self._events_processed
+        try:
+            while True:
+                entry = self._single
+                if entry is not None:
+                    # Staged entries are always live (cancel removes
+                    # them), and are not marked fired — cancel() detects
+                    # a dead staged entry by seq 0 + elapsed time.
+                    self._single = None
+                    fn = entry[2]
+                    self._now = entry[0]
+                    processed += 1
+                    if entry[3]:
+                        fn(*entry[3])
+                    else:
+                        fn()
+                    continue
+                while ready:
+                    entry = popleft()
+                    fn = entry[2]
+                    if fn is None:
+                        self._stale -= 1
+                        continue
+                    entry[2] = None
+                    processed += 1
+                    args = entry[3]
+                    if args:
+                        fn(*args)
+                    else:
+                        fn()
+                if heap:
+                    entry = pop(heap)
+                    fn = entry[2]
+                    if fn is None:
+                        self._stale -= 1
+                        continue
+                    if not heap:
+                        # The queue just emptied (ready drained above):
+                        # un-stick the busy flag so the callback we are
+                        # about to run can stage its next event.
+                        self._busy = False
+                    entry[2] = None
+                    self._now = entry[0]
+                    processed += 1
+                    args = entry[3]
+                    if args:
+                        fn(*args)
+                    else:
+                        fn()
+                elif self._single is None and not ready:
+                    # Natural drain: give the watchdog hooks a look.  A
+                    # hook may raise, or schedule new events (resuming).
+                    self._busy = False
+                    self._events_processed = processed
+                    if not self._drain_hooks:
+                        return
+                    for hook in list(self._drain_hooks):
+                        hook(self)
+                    processed = self._events_processed
+                    if not heap and not ready and self._single is None:
+                        return
+        finally:
+            self._events_processed = processed
+
+    def _run_guarded(self, until: Optional[float],
+                     max_events: Optional[int]) -> None:
+        """The instrumented loop: an ``until`` horizon and/or an event
+        budget.  Not performance-critical — tests and resumable runs."""
+        heap = self._heap
+        ready = self._ready
+        budget = max_events
+        while True:
+            # Fold the staging slot back into the heap: the guarded loop
+            # peeks before firing, and peeking is simplest over two
+            # structures instead of three.
+            single = self._single
+            if single is not None:
+                self._seq = single[1] = self._seq + 1
+                _heappush(heap, single)
+                self._single = None
+                self._busy = True
+            nxt = None
+            while ready:
+                head = ready[0]
+                if head[2] is None:
+                    ready.popleft()
+                    self._stale -= 1
+                    continue
+                nxt = head
+                break
+            if nxt is None:
+                while heap:
+                    head = heap[0]
+                    if head[2] is None:
+                        _heappop(heap)
+                        self._stale -= 1
+                        continue
+                    nxt = head
+                    break
+            if nxt is None:
+                # Natural drain.
+                self._busy = False
+                if not self._drain_hooks:
+                    return
+                for hook in list(self._drain_hooks):
+                    hook(self)
+                if not heap and not ready and self._single is None:
+                    return
+                continue
+            if until is not None and nxt[0] > until:
+                self._now = until
+                return
+            if budget is not None:
+                if budget == 0:
+                    raise SimulationError(
+                        f"max_events exhausted at t={self._now!r} "
+                        f"({self._events_processed} events processed)"
+                    )
+                budget -= 1
+            if ready and nxt is ready[0]:
+                self._fire(ready.popleft())
+            else:
+                self._fire(_heappop(heap))

@@ -21,13 +21,31 @@ blocking code:
 
 Nothing here knows about networks or CAF semantics; higher layers build on
 these primitives.
+
+Hot-path notes (DESIGN.md §9): :meth:`Task._step` is a bounded trampoline —
+when a task yields a future that is *already resolved* and the simulator is
+quiescent at the current instant (``sim.quiescent_at_now()``), the generator
+is resumed synchronously instead of bouncing through ``call_soon``.  The
+quiescence gate is what keeps this an invisible optimization: with nothing
+else due at this timestamp, the scheduled continuation would have run next
+anyway, so eliding the event cannot reorder anything.  Wait queues
+(:class:`Channel`, :class:`Semaphore`) are deques, so many-waiter wake-ups
+are O(1) per wake instead of O(n) ``list.pop(0)`` shifts — FIFO order is
+unchanged.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.sim.engine import Simulator, SimulationError
+
+#: Cap on synchronous resumptions per :meth:`Task._step` activation.  Long
+#: already-resolved chains (e.g. draining a full channel) bounce through the
+#: scheduler every N steps, bounding Python stack growth (the trampoline is
+#: iterative) and one activation's ability to starve the event loop.
+_TRAMPOLINE_CAP = 64
 
 
 class TaskFailed(RuntimeError):
@@ -172,9 +190,14 @@ class Task:
     The task's completion is observable through :attr:`done_future`, which
     resolves to the generator's return value (or the escaping exception,
     wrapped in :class:`TaskFailed`).
+
+    Task ids come from :meth:`Simulator.next_task_id`, so two machines (or
+    two back-to-back runs in one process) name their tasks identically —
+    task ids are part of trace output and must be reproducible.
     """
 
-    _ids = 0
+    __slots__ = ("tid", "sim", "gen", "name", "done_future",
+                 "_rvalue", "_rexc", "_resume_cb")
 
     def __init__(self, sim: Simulator, gen: Generator, name: str = ""):
         if not hasattr(gen, "send"):
@@ -182,50 +205,91 @@ class Task:
                 f"Task expects a generator; got {type(gen).__name__}. "
                 "Did you call the kernel instead of passing its generator?"
             )
-        Task._ids += 1
-        self.tid = Task._ids
+        self.tid = sim.next_task_id()
         self.sim = sim
         self.gen = gen
         self.name = name or f"task-{self.tid}"
         self.done_future = Future(f"{self.name}.done")
-        sim.call_soon(self._step, None, None)
+        # Resume state lives on the task (not in event args) and the bound
+        # continuation is allocated once: every switch then schedules a
+        # zero-arg callback, hitting the engine's `fn()` fast path.
+        self._rvalue: Any = None
+        self._rexc: Optional[BaseException] = None
+        self._resume_cb = self._resume
+        sim.call_soon(self._resume_cb)
 
     # -- scheduling internals ------------------------------------------ #
 
-    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
-        try:
-            if exc is not None:
-                directive = self.gen.throw(exc)
-            else:
-                directive = self.gen.send(value)
-        except StopIteration as stop:
-            self.done_future.set_result(stop.value)
+    def _resume(self) -> None:
+        """Advance the generator.  Runs as a bounded trampoline: a yield
+        of an already-resolved future continues synchronously while the
+        simulator is quiescent at this instant (order-identical to the
+        scheduled path; see module docstring), bouncing back through the
+        scheduler at :data:`_TRAMPOLINE_CAP` resumptions."""
+        gen = self.gen
+        sim = self.sim
+        value = self._rvalue
+        exc = self._rexc
+        if value is not None:
+            self._rvalue = None
+        if exc is not None:
+            self._rexc = None
+        budget = _TRAMPOLINE_CAP
+        while True:
+            try:
+                if exc is not None:
+                    directive = gen.throw(exc)
+                else:
+                    directive = gen.send(value)
+            except StopIteration as stop:
+                self.done_future.set_result(stop.value)
+                return
+            except BaseException as e:  # noqa: BLE001 - surfaced via future
+                wrapped = TaskFailed(f"task {self.name!r} failed: {e!r}")
+                wrapped.__cause__ = e
+                self.done_future.set_exception(wrapped)
+                return
+            # Type-keyed dispatch: exact-class checks beat isinstance on
+            # the hot path; subclasses and bad yields take the slow path.
+            cls = directive.__class__
+            if cls is Delay:
+                sim.schedule(directive.dt, self._resume_cb)
+                return
+            if cls is Future:
+                if directive._done:
+                    value = directive._value
+                    exc = directive._exc
+                    budget -= 1
+                    if budget and sim.quiescent_at_now():
+                        continue
+                    # Trampoline cap hit, or other events are due at this
+                    # instant: bounce through the scheduler.
+                    self._rvalue = value
+                    self._rexc = exc
+                    sim.call_soon(self._resume_cb)
+                    return
+                directive._callbacks.append(self._on_future)
+                return
+            self._dispatch(directive)
             return
-        except BaseException as e:  # noqa: BLE001 - surfaced via future
-            wrapped = TaskFailed(f"task {self.name!r} failed: {e!r}")
-            wrapped.__cause__ = e
-            self.done_future.set_exception(wrapped)
-            return
-        self._dispatch(directive)
 
     def _dispatch(self, directive: Any) -> None:
+        """Slow path: Delay/Future subclasses and invalid directives."""
         if isinstance(directive, Delay):
-            self.sim.schedule(directive.dt, self._step, None, None)
+            self.sim.schedule(directive.dt, self._resume_cb)
         elif isinstance(directive, Future):
             directive.add_done_callback(self._on_future)
         else:
-            err = SimulationError(
+            self._rexc = SimulationError(
                 f"task {self.name!r} yielded {directive!r}; expected "
                 "Delay or Future (did you forget `yield from`?)"
             )
-            self.sim.call_soon(self._step, None, err)
+            self.sim.call_soon(self._resume_cb)
 
     def _on_future(self, fut: Future) -> None:
-        exc = fut.exception()
-        if exc is not None:
-            self.sim.call_soon(self._step, None, exc)
-        else:
-            self.sim.call_soon(self._step, fut.result(), None)
+        self._rvalue = fut._value
+        self._rexc = fut._exc
+        self.sim.call_soon(self._resume_cb)
 
     def __repr__(self) -> str:
         return f"<Task {self.name} {'done' if self.done_future.done else 'live'}>"
@@ -236,32 +300,32 @@ class Channel:
 
     ``put`` is immediate; ``get()`` is a generator to be used with
     ``yield from`` and blocks until an item is available.  Multiple
-    blocked receivers are served in FIFO order.
+    blocked receivers are served in FIFO order (deque-backed, O(1) wakes).
     """
 
     def __init__(self, sim: Simulator, name: str = "channel"):
         self.sim = sim
         self.name = name
-        self._items: list[Any] = []
-        self._waiters: list[Future] = []
+        self._items: deque[Any] = deque()
+        self._waiters: deque[Future] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
 
     def put(self, item: Any) -> None:
         if self._waiters:
-            self._waiters.pop(0).set_result(item)
+            self._waiters.popleft().set_result(item)
         else:
             self._items.append(item)
 
     def try_get(self) -> tuple[bool, Any]:
         if self._items:
-            return True, self._items.pop(0)
+            return True, self._items.popleft()
         return False, None
 
     def get(self) -> Generator[Any, Any, Any]:
         if self._items:
-            return self._items.pop(0)
+            return self._items.popleft()
         fut = Future(f"{self.name}.get")
         self._waiters.append(fut)
         item = yield fut
@@ -272,7 +336,7 @@ class Semaphore:
     """A counting semaphore; used for flow-control credits.
 
     ``acquire`` blocks (``yield from``) when the count is zero; ``release``
-    wakes the longest-waiting acquirer.
+    wakes the longest-waiting acquirer (deque-backed, O(1) wakes).
     """
 
     def __init__(self, sim: Simulator, count: int, name: str = "sem"):
@@ -281,7 +345,7 @@ class Semaphore:
         self.sim = sim
         self.name = name
         self._count = count
-        self._waiters: list[Future] = []
+        self._waiters: deque[Future] = deque()
 
     @property
     def available(self) -> int:
@@ -303,7 +367,7 @@ class Semaphore:
 
     def release(self) -> None:
         if self._waiters:
-            self._waiters.pop(0).set_result(None)
+            self._waiters.popleft().set_result(None)
         else:
             self._count += 1
 

@@ -1,0 +1,94 @@
+"""Tests for same-instant delivery coalescing in the transport.
+
+With a serial NIC and nonzero ``o_send`` two messages can never finish
+injecting at the same instant, but zero-overhead configurations (the
+"how fast can the substrate go" regime) produce long trains of
+same-arrival-time deliveries on a link.  The transport batches those
+under one simulator event (keyed ``(src, dst, arrival_time)``); these
+tests pin that the batching is invisible — same delivery order, same
+handler count — and that it actually engages.
+"""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.net.topology import MachineParams, UniformTopology
+from repro.net.transport import Message, Network
+
+
+def make_net(n=4, **kwargs):
+    sim = Simulator()
+    defaults = dict(
+        topology=UniformTopology(n, wire_latency=1e-6, self_latency=1e-7),
+        bandwidth=1e9, o_send=1e-7, o_recv=1e-7,
+    )
+    defaults.update(kwargs)
+    return sim, Network(sim, MachineParams(**defaults))
+
+
+def test_zero_overhead_train_coalesces():
+    # o_send = 0 and size 0: every message finishes injecting at t=0 and
+    # arrives at exactly wire_latency — one shared event, N-1 coalesced.
+    sim, net = make_net(o_send=0.0, o_recv=0.0)
+    order = []
+    for tag in range(10):
+        net.send(Message(0, 1, 0, tag,
+                         on_deliver=lambda m: order.append(m.payload)))
+    sim.run()
+    assert order == list(range(10))
+    assert net.stats["net.deliveries_coalesced"] == 9
+    assert sim.now == pytest.approx(1e-6)
+
+
+def test_batches_are_per_link():
+    # Same arrival instant on *different* links must not share a batch —
+    # the key includes (src, dst).
+    sim, net = make_net(o_send=0.0, o_recv=0.0)
+    order = []
+    for dst in (1, 2, 3):
+        for tag in range(3):
+            net.send(Message(0, dst, 0, (dst, tag),
+                             on_deliver=lambda m: order.append(m.payload)))
+    sim.run()
+    # Delivery order equals send order regardless of batching.
+    assert order == [(dst, tag) for dst in (1, 2, 3) for tag in range(3)]
+    assert net.stats["net.deliveries_coalesced"] == 6  # 2 per link
+
+
+def test_serialized_nic_never_coalesces():
+    # With o_send > 0 the serial NIC staggers arrivals; the batch map
+    # must stay cold and timing must match the uncoalesced model.
+    sim, net = make_net()
+    arrivals = []
+    for tag in range(3):
+        net.send(Message(0, 1, 1000, tag,
+                         on_deliver=lambda m: arrivals.append((m.payload,
+                                                               sim.now))))
+    sim.run()
+    assert net.stats["net.deliveries_coalesced"] == 0
+    t0 = 1.1e-6 + 1.1e-6
+    assert arrivals[0] == (0, pytest.approx(t0))
+    assert arrivals[1] == (1, pytest.approx(t0 + 1.1e-6))
+    assert arrivals[2] == (2, pytest.approx(t0 + 2.2e-6))
+
+
+def test_reliable_mode_coalesces_and_delivers_exactly_once():
+    sim, net = make_net(o_send=0.0, o_recv=0.0, reliable=True)
+    order = []
+    receipts = [net.send(Message(0, 1, 0, tag,
+                                 on_deliver=lambda m: order.append(m.payload)),
+                         want_ack=True)
+                for tag in range(8)]
+    sim.run()
+    assert order == list(range(8))
+    assert net.stats["net.deliveries_coalesced"] == 7
+    assert all(r.delivered.done for r in receipts)
+    assert net.unacked() == []
+
+
+def test_batch_map_is_drained_after_delivery():
+    sim, net = make_net(o_send=0.0, o_recv=0.0)
+    for tag in range(5):
+        net.send(Message(0, 1, 0, tag))
+    sim.run()
+    assert net._arrivals == {}

@@ -101,7 +101,7 @@ def test_event_cancellation():
     fired = []
     ev = sim.schedule(1.0, fired.append, "cancelled")
     sim.schedule(2.0, fired.append, "kept")
-    ev.cancel()
+    sim.cancel(ev)
     sim.run()
     assert fired == ["kept"]
 
