@@ -10,14 +10,45 @@ by more than ``--threshold`` (default 15%) over the committed reference.
 Normalized costs divide out the machine's raw interpreter speed, so the
 gate transfers between the committing machine and CI hardware; residual
 noise is what the threshold absorbs.
+
+``--update-baseline`` rewrites the reference file from the current run
+instead of comparing (the sanctioned way to move the baseline after an
+intentional perf change).
+
+Exit codes: 0 ok, 1 regression, 2 missing/unreadable baseline.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import shutil
 import sys
 from pathlib import Path
+
+EXIT_REGRESSION = 1
+EXIT_NO_BASELINE = 2
+
+
+def _load(path: Path, role: str) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        print(f"error: {role} file {path} does not exist", file=sys.stderr)
+        if role == "reference":
+            print(
+                "hint: generate the baseline with\n"
+                "  PYTHONPATH=src python benchmarks/run_all.py "
+                f"--out {path}\n"
+                "or adopt a fresh run as the new baseline with\n"
+                f"  python benchmarks/compare_bench.py {path} "
+                "<current.json> --update-baseline",
+                file=sys.stderr)
+        raise SystemExit(EXIT_NO_BASELINE)
+    except json.JSONDecodeError as exc:
+        print(f"error: {role} file {path} is not valid JSON: {exc}",
+              file=sys.stderr)
+        raise SystemExit(EXIT_NO_BASELINE)
 
 
 def main() -> None:
@@ -29,10 +60,24 @@ def main() -> None:
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="allowed fractional growth in normalized cost "
                          "(default 0.15 = 15%%)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="overwrite REFERENCE with CURRENT instead of "
+                         "comparing")
     args = ap.parse_args()
 
-    ref = json.loads(args.reference.read_text())
-    cur = json.loads(args.current.read_text())
+    cur = _load(args.current, "current")
+    if args.update_baseline:
+        if "benches" not in cur:
+            print(f"error: {args.current} has no 'benches' section; "
+                  "refusing to install it as the baseline",
+                  file=sys.stderr)
+            raise SystemExit(EXIT_NO_BASELINE)
+        shutil.copyfile(args.current, args.reference)
+        print(f"baseline {args.reference} updated from {args.current} "
+              f"({len(cur['benches'])} benches)")
+        return
+
+    ref = _load(args.reference, "reference")
 
     failures = []
     for name, ref_bench in sorted(ref["benches"].items()):
@@ -55,7 +100,7 @@ def main() -> None:
         print("\nperformance regression detected:", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
-        raise SystemExit(1)
+        raise SystemExit(EXIT_REGRESSION)
     print("\nno regression beyond threshold "
           f"({args.threshold:.0%}) — {len(ref['benches'])} benches ok")
 

@@ -7,15 +7,28 @@
 - :mod:`repro.apps.producer_consumer` — the cofence/events/finish
   micro-benchmark of Fig. 11/12 (§IV-A);
 - :mod:`repro.apps.work_stealing` — the Fig. 2 vs Fig. 3 steal-protocol
-  comparison (5 round trips vs 2).
+  comparison (5 round trips vs 2);
+- :mod:`repro.apps.ordering_bug` — a seeded flag-before-data bug (raw
+  event post without the release fence) that only specific interleavings
+  expose; the schedule explorer's acceptance target.
 """
 
 from repro.apps.uts import TreeParams, UTSConfig, run_uts, sequential_tree_size
 from repro.apps.randomaccess import RAConfig, run_randomaccess
 from repro.apps.producer_consumer import PCConfig, run_producer_consumer
 from repro.apps.work_stealing import WSConfig, run_work_stealing
+from repro.apps.ordering_bug import (
+    OrderingBugConfig,
+    OrderingBugResult,
+    make_ordering_bug_target,
+    run_ordering_bug,
+)
 
 __all__ = [
+    "OrderingBugConfig",
+    "OrderingBugResult",
+    "make_ordering_bug_target",
+    "run_ordering_bug",
     "TreeParams",
     "UTSConfig",
     "run_uts",

@@ -1,0 +1,316 @@
+"""Schedules: recordable, replayable choice sequences.
+
+The simulator and the transport expose their nondeterminism as
+:class:`~repro.sim.engine.ChoicePoint` queries against a *schedule
+source* (DESIGN.md §10).  This module defines the source protocol and
+the machinery that makes choice sequences first-class artifacts:
+
+- :class:`ScheduleSource` — the protocol base: ``choose(point) -> int``
+  plus the ``lag_steps``/``lag_slack`` knobs the transport reads;
+- :class:`DefaultSource` — always chooses 0, i.e. the baseline
+  (insertion-order ties, nominal wire latency) schedule;
+- :class:`RecordingSource` — wraps any source and records every decision
+  as a :class:`ChoiceRecord`;
+- :class:`Schedule` — the serialized artifact: the recorded choice
+  sequence, the fault-plan configuration that was in force, run
+  metadata, and the observed outcome.  Round-trips through JSON;
+- :class:`ReplaySource` — replays a schedule's choices.  Strict replay
+  verifies the run asks the very same questions (same domain, same
+  alternative count at every point) and raises
+  :class:`ReplayDivergence` otherwise; lenient replay clamps, which is
+  what lets the minimizer probe mutated choice sequences.
+
+The replay-determinism invariant: a run is a pure function of
+(program, machine seed, fault plan, choice sequence).  Replaying a
+recorded schedule therefore reproduces the original execution bit for
+bit — same stats, same virtual time, same failure.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Optional, Sequence
+
+from repro.sim.engine import ChoicePoint
+
+__all__ = [
+    "ChoiceRecord",
+    "DefaultSource",
+    "RecordingSource",
+    "ReplayDivergence",
+    "ReplaySource",
+    "Schedule",
+    "ScheduleSource",
+    "as_schedule_source",
+]
+
+SCHEDULE_VERSION = 1
+
+#: Default number of discrete delivery-lag alternatives per transmission.
+DEFAULT_LAG_STEPS = 3
+#: Default maximum extra delivery delay, as a fraction of wire latency.
+#: Generous enough that the last lag step reorders a message behind the
+#: two that follow it on the same link (injection gaps are ~o_send,
+#: far below a latency).
+DEFAULT_LAG_SLACK = 0.8
+
+
+class ScheduleSource:
+    """Protocol base for schedule sources.
+
+    ``choose`` receives a :class:`~repro.sim.engine.ChoicePoint` and
+    must return an alternative index in ``[0, point.n)``.  ``lag_steps``
+    and ``lag_slack`` parameterize the transport's lag choice points and
+    are part of the schedule's identity (they change the timing a given
+    choice maps to), so :class:`Schedule` records them and
+    :class:`ReplaySource` restores them.
+    """
+
+    lag_steps: int = DEFAULT_LAG_STEPS
+    lag_slack: float = DEFAULT_LAG_SLACK
+
+    def choose(self, point: ChoicePoint) -> int:
+        raise NotImplementedError
+
+
+class DefaultSource(ScheduleSource):
+    """The canonical schedule: alternative 0 everywhere — insertion-order
+    tie-breaks and nominal wire latency, i.e. exactly the baseline
+    engine's behavior."""
+
+    def choose(self, point: ChoicePoint) -> int:
+        return 0
+
+
+class ChoiceRecord:
+    """One recorded decision: what was asked (domain, n, identity) and
+    what was answered.  ``labels``/``key``/``branch_hint`` are carried
+    for the search strategies (commuting-choice filter) and for humans
+    reading schedule files; replay only needs (domain, n, choice)."""
+
+    __slots__ = ("domain", "n", "choice", "labels", "key", "branch_hint")
+
+    def __init__(self, domain: str, n: int, choice: int,
+                 labels: Sequence[str] = (), key: Optional[str] = None,
+                 branch_hint: bool = True):
+        self.domain = domain
+        self.n = n
+        self.choice = choice
+        self.labels = tuple(labels)
+        self.key = key
+        self.branch_hint = branch_hint
+
+    def replace(self, choice: int) -> "ChoiceRecord":
+        return ChoiceRecord(self.domain, self.n, choice, self.labels,
+                            self.key, self.branch_hint)
+
+    def to_json(self) -> dict:
+        out = {"d": self.domain, "n": self.n, "c": self.choice}
+        if self.labels:
+            out["labels"] = list(self.labels)
+        if self.key is not None:
+            out["key"] = self.key
+        if not self.branch_hint:
+            out["commutes"] = True
+        return out
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ChoiceRecord":
+        return cls(data["d"], data["n"], data["c"],
+                   labels=data.get("labels", ()),
+                   key=data.get("key"),
+                   branch_hint=not data.get("commutes", False))
+
+    def __repr__(self) -> str:
+        return (f"ChoiceRecord({self.domain!r}, n={self.n}, "
+                f"choice={self.choice})")
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, ChoiceRecord)
+                and self.domain == other.domain and self.n == other.n
+                and self.choice == other.choice)
+
+
+class RecordingSource(ScheduleSource):
+    """Wraps any source and records every decision it makes.  The lag
+    parameters are taken from the wrapped source (they are what the
+    transport will actually see)."""
+
+    def __init__(self, inner: ScheduleSource):
+        self.inner = inner
+        self.lag_steps = inner.lag_steps
+        self.lag_slack = inner.lag_slack
+        self.records: List[ChoiceRecord] = []
+
+    def choose(self, point: ChoicePoint) -> int:
+        choice = self.inner.choose(point)
+        self.records.append(ChoiceRecord(
+            point.domain, point.n, choice, labels=point.labels,
+            key=point.key, branch_hint=point.branch_hint))
+        return choice
+
+
+class ReplayDivergence(RuntimeError):
+    """Strict replay met a choice point the recording does not match:
+    the run asked a different question (domain or alternative count)
+    than the schedule answered at this position.  Almost always means
+    the program, seed, fault plan or lag parameters differ from the
+    recording run."""
+
+
+class ReplaySource(ScheduleSource):
+    """Feeds back a recorded choice sequence.
+
+    Parameters
+    ----------
+    records:
+        The choice sequence (possibly a truncated or mutated prefix).
+    strict:
+        True — verify domain and alternative count at every point and
+        raise :class:`ReplayDivergence` on mismatch (the replay-
+        determinism guarantee).  False — best effort: clamp the recorded
+        choice into range, which the minimizer relies on when probing
+        schedules whose prefix changes what the run asks next.
+    lag_steps / lag_slack:
+        Must match the recording run for replay to be meaningful;
+        :meth:`Schedule.source` passes the recorded values.
+
+    Past the end of the recording the source answers 0 (baseline), so a
+    schedule *prefix* is itself a complete schedule.
+    """
+
+    def __init__(self, records: Sequence[ChoiceRecord], strict: bool = True,
+                 lag_steps: int = DEFAULT_LAG_STEPS,
+                 lag_slack: float = DEFAULT_LAG_SLACK):
+        self._records = list(records)
+        self._strict = strict
+        self._pos = 0
+        self.lag_steps = lag_steps
+        self.lag_slack = lag_slack
+
+    @property
+    def position(self) -> int:
+        """Choice points consumed so far (diagnostic)."""
+        return self._pos
+
+    def choose(self, point: ChoicePoint) -> int:
+        pos = self._pos
+        self._pos = pos + 1
+        if pos >= len(self._records):
+            return 0
+        rec = self._records[pos]
+        if rec.domain != point.domain or rec.n != point.n:
+            if self._strict:
+                raise ReplayDivergence(
+                    f"replay diverged at choice {pos}: run asked "
+                    f"({point.domain!r}, n={point.n}), schedule recorded "
+                    f"({rec.domain!r}, n={rec.n})"
+                )
+            return min(max(rec.choice, 0), point.n - 1)
+        choice = rec.choice
+        if not 0 <= choice < point.n:
+            if self._strict:
+                raise ReplayDivergence(
+                    f"replay diverged at choice {pos}: recorded choice "
+                    f"{choice} out of range for n={point.n}"
+                )
+            return min(max(choice, 0), point.n - 1)
+        return choice
+
+
+class Schedule:
+    """A replayable schedule: the choice sequence of one run, plus
+    everything else needed to reproduce it (fault-plan config, lag
+    parameters, run metadata) and what it led to (outcome).
+
+    Serializes to a small JSON document — the artifact the explorer
+    emits for a found bug.
+    """
+
+    def __init__(self, records: Sequence[ChoiceRecord],
+                 meta: Optional[dict] = None,
+                 fault_plan: Optional[dict] = None,
+                 outcome: Optional[dict] = None,
+                 lag_steps: int = DEFAULT_LAG_STEPS,
+                 lag_slack: float = DEFAULT_LAG_SLACK):
+        self.records = list(records)
+        self.meta = dict(meta or {})
+        self.fault_plan = fault_plan
+        self.outcome = outcome
+        self.lag_steps = lag_steps
+        self.lag_slack = lag_slack
+
+    # -- derived ------------------------------------------------------- #
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def nonzero_choices(self) -> int:
+        """Decisions that deviate from the baseline schedule — the
+        minimizer drives this toward the bug's essential core."""
+        return sum(1 for r in self.records if r.choice != 0)
+
+    def choices(self) -> List[int]:
+        return [r.choice for r in self.records]
+
+    def source(self, strict: bool = True) -> ReplaySource:
+        """A source that replays this schedule."""
+        return ReplaySource(self.records, strict=strict,
+                            lag_steps=self.lag_steps,
+                            lag_slack=self.lag_slack)
+
+    # -- serialization ------------------------------------------------- #
+
+    def to_json(self) -> dict:
+        return {
+            "version": SCHEDULE_VERSION,
+            "meta": self.meta,
+            "lag_steps": self.lag_steps,
+            "lag_slack": self.lag_slack,
+            "fault_plan": self.fault_plan,
+            "outcome": self.outcome,
+            "choices": [r.to_json() for r in self.records],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Schedule":
+        version = data.get("version")
+        if version != SCHEDULE_VERSION:
+            raise ValueError(f"unsupported schedule version {version!r}")
+        return cls(
+            records=[ChoiceRecord.from_json(r) for r in data["choices"]],
+            meta=data.get("meta"),
+            fault_plan=data.get("fault_plan"),
+            outcome=data.get("outcome"),
+            lag_steps=data.get("lag_steps", DEFAULT_LAG_STEPS),
+            lag_slack=data.get("lag_slack", DEFAULT_LAG_SLACK),
+        )
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh, indent=1)
+
+    @classmethod
+    def load(cls, path) -> "Schedule":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(json.load(fh))
+
+    def __repr__(self) -> str:
+        failed = (self.outcome or {}).get("failed")
+        return (f"<Schedule {len(self.records)} choices "
+                f"({self.nonzero_choices()} non-default), "
+                f"failed={failed}>")
+
+
+def as_schedule_source(schedule) -> ScheduleSource:
+    """Coerce what ``Machine(schedule=...)`` accepts into a source:
+    a :class:`Schedule` becomes a strict :class:`ReplaySource`; any
+    object with a ``choose`` method passes through."""
+    if isinstance(schedule, Schedule):
+        return schedule.source(strict=True)
+    if hasattr(schedule, "choose"):
+        return schedule
+    raise TypeError(
+        f"schedule must be a Schedule or a ScheduleSource, got "
+        f"{type(schedule).__name__}"
+    )

@@ -1,0 +1,294 @@
+"""Search strategies over the schedule space.
+
+A *strategy* produces one :class:`~repro.explore.schedule.ScheduleSource`
+per run and learns from the recorded outcome:
+
+- :class:`RandomWalkStrategy` — independent uniformly-random choices,
+  seeded; the baseline searcher and surprisingly strong for shallow
+  ordering bugs.
+- :class:`PCTStrategy` — PCT-style probabilistic concurrency testing
+  (Burckhardt et al.): each scheduling actor gets a random priority,
+  the highest-priority ready candidate runs, and at ``d`` pre-drawn
+  change points the running actor's priority drops to the bottom.
+  Gives probabilistic coverage guarantees for bugs of depth ``d``.
+- :class:`DFSStrategy` — bounded depth-first enumeration of the choice
+  tree with a sleep-set-lite filter: at a given tree position,
+  alternatives whose label/key was already explored under another index
+  are skipped (commuting deliveries produce the same state), and choice
+  points whose ``branch_hint`` is False (e.g. a lag choice with no other
+  in-flight traffic to the same destination, which cannot reorder
+  anything) are not branched at all.
+
+The strategy protocol is three members: ``begin_run(i)`` returns the
+source for run ``i``; ``observe(schedule, outcome)`` feeds back the
+recorded run; ``exhausted`` is True once the strategy has nothing new
+to propose (only DFS ever exhausts).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.sim.engine import ChoicePoint
+
+from repro.explore.schedule import (
+    DEFAULT_LAG_SLACK,
+    DEFAULT_LAG_STEPS,
+    ScheduleSource,
+)
+
+__all__ = [
+    "DFSStrategy",
+    "PCTSource",
+    "PCTStrategy",
+    "RandomWalkSource",
+    "RandomWalkStrategy",
+]
+
+
+# --------------------------------------------------------------------- #
+# Random walk
+# --------------------------------------------------------------------- #
+
+class RandomWalkSource(ScheduleSource):
+    """Uniformly random choice at every point, from a seeded stream."""
+
+    def __init__(self, seed: int, lag_steps: int = DEFAULT_LAG_STEPS,
+                 lag_slack: float = DEFAULT_LAG_SLACK):
+        self._rng = random.Random(seed)
+        self.lag_steps = lag_steps
+        self.lag_slack = lag_slack
+
+    def choose(self, point: ChoicePoint) -> int:
+        return self._rng.randrange(point.n)
+
+
+class RandomWalkStrategy:
+    """One independent random walk per run, seeds derived from a base
+    seed so the whole search is reproducible."""
+
+    name = "random-walk"
+
+    def __init__(self, seed: int = 0, lag_steps: int = DEFAULT_LAG_STEPS,
+                 lag_slack: float = DEFAULT_LAG_SLACK):
+        self.seed = seed
+        self.lag_steps = lag_steps
+        self.lag_slack = lag_slack
+
+    def begin_run(self, i: int) -> RandomWalkSource:
+        return RandomWalkSource(seed=(self.seed << 20) + i,
+                                lag_steps=self.lag_steps,
+                                lag_slack=self.lag_slack)
+
+    def observe(self, schedule, outcome) -> None:
+        pass
+
+    @property
+    def exhausted(self) -> bool:
+        return False
+
+
+# --------------------------------------------------------------------- #
+# PCT
+# --------------------------------------------------------------------- #
+
+class PCTSource(ScheduleSource):
+    """Priority-based scheduling with ``d`` change points.
+
+    "ready" choice points are decided by actor priority: each distinct
+    candidate label gets a random priority on first sight, the
+    highest-priority candidate wins, and at each of ``d`` pre-drawn
+    scheduling steps the chosen actor's priority is demoted below all
+    others.  Non-"ready" domains (transport lag) fall back to the same
+    random stream, so PCT also perturbs delivery timing.
+    """
+
+    def __init__(self, seed: int, change_points: int = 3,
+                 horizon: int = 1000,
+                 lag_steps: int = DEFAULT_LAG_STEPS,
+                 lag_slack: float = DEFAULT_LAG_SLACK):
+        self._rng = random.Random(seed)
+        self.lag_steps = lag_steps
+        self.lag_slack = lag_slack
+        self._priority: dict = {}
+        self._floor = 0.0  # demoted priorities stack below this
+        self._step = 0
+        # distinct change steps drawn over the expected run length
+        horizon = max(horizon, change_points + 1)
+        self._change_steps = set(
+            self._rng.sample(range(1, horizon), min(change_points,
+                                                    horizon - 1)))
+
+    def _priority_of(self, label: str) -> float:
+        pr = self._priority.get(label)
+        if pr is None:
+            # new actors land in (0, 1); demotions go ever more negative
+            pr = self._priority[label] = self._rng.random()
+        return pr
+
+    def choose(self, point: ChoicePoint) -> int:
+        if point.domain != "ready":
+            return self._rng.randrange(point.n)
+        self._step += 1
+        labels = point.labels or tuple(f"#{i}" for i in range(point.n))
+        best = max(range(point.n),
+                   key=lambda i: (self._priority_of(labels[i]), -i))
+        if self._step in self._change_steps:
+            self._floor -= 1.0
+            self._priority[labels[best]] = self._floor
+        return best
+
+
+class PCTStrategy:
+    """Fresh priorities and change points every run."""
+
+    name = "pct"
+
+    def __init__(self, seed: int = 0, change_points: int = 3,
+                 horizon: int = 1000,
+                 lag_steps: int = DEFAULT_LAG_STEPS,
+                 lag_slack: float = DEFAULT_LAG_SLACK):
+        self.seed = seed
+        self.change_points = change_points
+        self.horizon = horizon
+        self.lag_steps = lag_steps
+        self.lag_slack = lag_slack
+
+    def begin_run(self, i: int) -> PCTSource:
+        return PCTSource(seed=(self.seed << 20) + i,
+                         change_points=self.change_points,
+                         horizon=self.horizon,
+                         lag_steps=self.lag_steps,
+                         lag_slack=self.lag_slack)
+
+    def observe(self, schedule, outcome) -> None:
+        pass
+
+    @property
+    def exhausted(self) -> bool:
+        return False
+
+
+# --------------------------------------------------------------------- #
+# Bounded DFS with sleep-set-lite filtering
+# --------------------------------------------------------------------- #
+
+class _PathSource(ScheduleSource):
+    """Forces a fixed choice prefix, then answers 0 (baseline) beyond
+    it, while noting what each point along the path looked like so the
+    DFS can decide where to branch next."""
+
+    def __init__(self, path: Sequence[int],
+                 lag_steps: int = DEFAULT_LAG_STEPS,
+                 lag_slack: float = DEFAULT_LAG_SLACK):
+        self._path = list(path)
+        self._pos = 0
+        self.points: List[ChoicePoint] = []
+        self.lag_steps = lag_steps
+        self.lag_slack = lag_slack
+
+    def choose(self, point: ChoicePoint) -> int:
+        self.points.append(point)
+        pos = self._pos
+        self._pos = pos + 1
+        if pos < len(self._path):
+            return min(self._path[pos], point.n - 1)
+        return 0
+
+
+class _Frame:
+    """One depth level of the DFS: the choice point seen there on the
+    current path, which alternative the path takes, and which commute
+    keys have already been explored at this position (sleep set)."""
+
+    __slots__ = ("n", "choice", "labels", "branchable", "tried_keys")
+
+    def __init__(self, point: ChoicePoint, choice: int):
+        self.n = point.n
+        self.choice = choice
+        self.labels = point.labels
+        # Points flagged as non-reordering (branch_hint False) and
+        # single-alternative points never branch.
+        self.branchable = point.branch_hint and point.n > 1
+        self.tried_keys = {self._key(choice)}
+
+    def _key(self, idx: int):
+        # Alternatives with the same label commute at this position —
+        # delivering either first reaches the same state, so exploring
+        # one suffices (the "lite" part of sleep sets: labels rather
+        # than a full happens-before analysis).
+        if self.labels and idx < len(self.labels):
+            return self.labels[idx]
+        return idx
+
+    def next_choice(self) -> Optional[int]:
+        """The next unexplored, non-commuting alternative, or None."""
+        if not self.branchable:
+            return None
+        for idx in range(self.choice + 1, self.n):
+            key = self._key(idx)
+            if key in self.tried_keys:
+                continue
+            self.tried_keys.add(key)
+            return idx
+        return None
+
+
+class DFSStrategy:
+    """Bounded depth-first enumeration of the choice tree.
+
+    Explores paths in order: baseline first, then backtracking from the
+    deepest branchable frame within ``max_depth``.  ``exhausted`` goes
+    True once every in-bound branch (modulo the commuting filter) has
+    been visited — on small programs this makes the search *complete*
+    up to the bound.
+    """
+
+    name = "dfs"
+
+    def __init__(self, max_depth: int = 25,
+                 lag_steps: int = DEFAULT_LAG_STEPS,
+                 lag_slack: float = DEFAULT_LAG_SLACK):
+        self.max_depth = max_depth
+        self.lag_steps = lag_steps
+        self.lag_slack = lag_slack
+        self._stack: List[_Frame] = []
+        self._next_path: Optional[List[int]] = []  # [] = baseline run
+        self._source: Optional[_PathSource] = None
+
+    def begin_run(self, i: int) -> _PathSource:
+        if self._next_path is None:
+            raise RuntimeError("DFS exhausted; check .exhausted first")
+        self._source = _PathSource(self._next_path,
+                                   lag_steps=self.lag_steps,
+                                   lag_slack=self.lag_slack)
+        return self._source
+
+    def observe(self, schedule, outcome) -> None:
+        source = self._source
+        self._source = None
+        path = self._next_path
+        # Grow the stack with the frames this run revealed past the
+        # forced prefix (bounded by max_depth).
+        del self._stack[len(path):]
+        for depth in range(len(self._stack), len(source.points)):
+            if depth >= self.max_depth:
+                break
+            point = source.points[depth]
+            taken = path[depth] if depth < len(path) else 0
+            self._stack.append(_Frame(point, min(taken, point.n - 1)))
+        # Backtrack: deepest frame with an untried alternative.
+        while self._stack:
+            frame = self._stack[-1]
+            nxt = frame.next_choice()
+            if nxt is not None:
+                frame.choice = nxt
+                self._next_path = [f.choice for f in self._stack]
+                return
+            self._stack.pop()
+        self._next_path = None
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next_path is None

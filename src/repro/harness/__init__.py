@@ -18,10 +18,12 @@ from repro.harness.experiments import (
     ablation_tree_radix,
     ablation_steal_chunk,
     chaos_resilience,
+    explore_search,
     races_audit,
 )
 
 __all__ = [
+    "explore_search",
     "Table",
     "format_seconds",
     "fig05_barrier_failure",

@@ -21,6 +21,7 @@ from repro.harness import (
     ablation_steal_chunk,
     ablation_tree_radix,
     chaos_resilience,
+    explore_search,
     fig05_barrier_failure,
     fig12_cofence_micro,
     fig13_randomaccess_scaling,
@@ -74,6 +75,10 @@ EXPERIMENTS = {
         n_images=4 if quick else 8,
         tree=_QUICK_TREE if quick else None,
         updates_per_image=16 if quick else 64)),
+    "explore": (lambda quick: explore_search(
+        budget=150 if quick else 500,
+        rounds=2 if quick else 4,
+        minimize_budget=60 if quick else 200)),
     "races": (lambda quick: races_audit(
         n_images=4 if quick else 8,
         tree=_QUICK_TREE if quick else None,

@@ -517,6 +517,87 @@ def _racy_producer(img, iterations: int):
     yield from img.finish_end()
 
 
+def explore_search(budget: int = 500, rounds: int = 4,
+                   minimize_budget: int = 200,
+                   artifact: Optional[str] = None,
+                   quiet: bool = False) -> dict:
+    """Schedule-space exploration demo (DESIGN.md §10): every strategy
+    must find the seeded flag-before-data bug in
+    :mod:`repro.apps.ordering_bug` within ``budget`` schedules, the
+    minimized schedule must shrink to a handful of non-default choices,
+    and its strict replay must reproduce the identical failure.
+
+    The bug is invisible to every other oracle run in this harness —
+    the baseline schedule always delivers data before the flag — which
+    is the point: only controlled-schedule search surfaces it.
+    ``artifact`` names a file to save the first minimized repro
+    schedule to (the explorer's repro artifact).
+    """
+    from repro.apps.ordering_bug import (
+        OrderingBugConfig,
+        make_ordering_bug_target,
+        run_ordering_bug,
+    )
+    from repro.explore import (
+        DFSStrategy,
+        Explorer,
+        PCTStrategy,
+        RandomWalkStrategy,
+        check_replay_determinism,
+    )
+
+    config = OrderingBugConfig(rounds=rounds)
+    baseline = run_ordering_bug(config=config)
+    target = make_ordering_bug_target(config=config)
+    explorer = Explorer(target, budget=budget,
+                        minimize_budget=minimize_budget)
+
+    results: dict = {"baseline_ok": baseline.ok}
+    saved = None
+    for strategy in (RandomWalkStrategy(seed=1), PCTStrategy(seed=2),
+                     DFSStrategy(max_depth=25)):
+        report = explorer.run_strategy(strategy)
+        row = report.to_json()
+        if report.found:
+            row["replay_deterministic"] = check_replay_determinism(
+                target, report.minimized)
+            if artifact is not None and saved is None:
+                report.minimized.save(artifact)
+                saved = artifact
+        results[report.strategy] = row
+    results["artifact"] = saved
+    results["ok"] = baseline.ok and all(
+        row.get("found") and row.get("replay_deterministic")
+        for name, row in results.items()
+        if isinstance(row, dict))
+
+    if not quiet:
+        table = Table(
+            f"Schedule exploration — seeded ordering bug "
+            f"({rounds} rounds, budget {budget} schedules/strategy)",
+            ["strategy", "found", "schedules", "minimized (non-default)",
+             "replay"],
+        )
+        for name, row in results.items():
+            if not isinstance(row, dict):
+                continue
+            table.add_row([
+                name,
+                f"run #{row['found_at']}" if row["found"] else "NO",
+                row["schedules_run"],
+                (f"{row['minimized_nonzero']} of {row['minimized_len']}"
+                 if row["found"] else "-"),
+                ("identical" if row.get("replay_deterministic")
+                 else "DIVERGED") if row["found"] else "-",
+            ])
+        table.print()
+        print(f"baseline schedule: {'clean' if baseline.ok else 'FAILED'}"
+              f" (the bug needs exploration to surface)")
+        if saved:
+            print(f"minimized repro schedule written to {saved}")
+    return results
+
+
 def races_audit(n_images: int = 4, tree: Optional[TreeParams] = None,
                 iterations: int = 50, updates_per_image: int = 32,
                 seed: int = 0, quiet: bool = False) -> dict:

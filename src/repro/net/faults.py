@@ -162,6 +162,44 @@ class FaultPlan:
         fault decisions from its master seed when the plan is unseeded)."""
         self._rng = rng
 
+    def to_config(self) -> dict:
+        """A JSON-serializable description of the plan.  Together with a
+        machine seed this pins every fault decision: the rng stream and
+        the per-kind scripted-drop script are both functions of the
+        config, so :meth:`from_config` rebuilds a plan whose decision
+        sequence replays identically.  Used by the schedule-exploration
+        subsystem to embed fault plans in replayable schedules."""
+        return {
+            "drop": self.drop,
+            "duplicate": self.duplicate,
+            "reorder": self.reorder,
+            "ack_drop": self.ack_drop,
+            "link_drop": [[src, dst, p]
+                          for (src, dst), p in sorted(self.link_drop.items())],
+            "stalls": [[s.image, s.start, s.duration] for s in self.stalls],
+            "scripted": sorted([kind, n] for kind, n in self._scripted),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_config` output (virgin per-run
+        state, same decision sequence once bound to the same seed)."""
+        plan = cls(
+            drop=config.get("drop", 0.0),
+            duplicate=config.get("duplicate", 0.0),
+            reorder=config.get("reorder", 0.0),
+            ack_drop=config.get("ack_drop"),
+            link_drop={(src, dst): p
+                       for src, dst, p in config.get("link_drop", [])},
+            stalls=[NicStall(image, start, duration)
+                    for image, start, duration in config.get("stalls", [])],
+            seed=config.get("seed"),
+        )
+        for kind, n in config.get("scripted", []):
+            plan.drop_nth(kind, int(n))
+        return plan
+
     @property
     def rng(self) -> np.random.Generator:
         if self._rng is None:

@@ -49,11 +49,18 @@ from typing import Any, Callable, Optional
 
 import numpy as np
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import ChoicePoint, Simulator
 from repro.sim.tasks import Future
 from repro.sim.trace import Stats
 from repro.net.topology import MachineParams
 from repro.net.faults import FaultPlan
+
+#: Parents of the fallback random streams used when a :class:`Network`
+#: is built with ``seed=None``.  Each seedless instance spawns its own
+#: child, so two seedless networks in one process draw *different*
+#: jitter/fault sequences (they used to share one fixed-seed stream).
+_FALLBACK_JITTER_SS = np.random.SeedSequence(0xC0FFEE)
+_FALLBACK_FAULT_SS = np.random.SeedSequence(0xFA117)
 
 
 class RetryExhaustedError(RuntimeError):
@@ -180,12 +187,14 @@ class Network:
         self._nic_free_at = np.zeros(params.n_images, dtype=np.float64)
         if params.jitter > 0.0 and jitter_rng is None:
             jitter_rng = np.random.default_rng(
-                np.random.SeedSequence(0xC0FFEE if seed is None else seed))
+                _FALLBACK_JITTER_SS.spawn(1)[0] if seed is None
+                else np.random.SeedSequence(seed))
         self._jitter_rng = jitter_rng
         self.faults = faults
         if faults is not None and faults.seed is None and faults._rng is None:
             faults.bind(np.random.default_rng(
-                np.random.SeedSequence(0xFA117 if seed is None else seed)))
+                _FALLBACK_FAULT_SS.spawn(1)[0] if seed is None
+                else np.random.SeedSequence(seed)))
         #: per-network message sequence (reproducible across back-to-back
         #: simulations in one process)
         self._msg_seq = itertools.count()
@@ -200,6 +209,12 @@ class Network:
         #: short human-readable records of lost transmissions (bounded;
         #: the liveness watchdog quotes these in its diagnostic)
         self.lost: list[str] = []
+        #: schedule-exploration hook (DESIGN.md §10): an object with
+        #: ``choose(ChoicePoint) -> int`` plus ``lag_steps``/``lag_slack``
+        #: attributes.  When installed, every remote transmission's extra
+        #: delivery lag becomes an explicit recorded choice (and the
+        #: jitter rng is bypassed); None = baseline timing, untouched.
+        self.schedule_source = None
 
     # ------------------------------------------------------------------ #
 
@@ -255,6 +270,30 @@ class Network:
 
     def _wire_latency(self, msg: Message) -> float:
         lat = self.params.topology.latency(msg.src, msg.dst)
+        source = self.schedule_source
+        if source is not None:
+            # Controlled mode: the wire's nondeterminism is an explicit
+            # choice among discrete lag steps instead of a jitter draw.
+            # Step 0 is the nominal latency (baseline), step k adds
+            # ``lag_slack * k / (steps - 1)`` of the latency on top —
+            # enough spread to reorder back-to-back messages on a link.
+            if msg.src == msg.dst:
+                return lat  # loopback models memory, never reorders
+            steps = source.lag_steps
+            if steps <= 1:
+                return lat
+            # Every non-loopback lag is branchable: the latency choice
+            # is made at send time, before any later message that could
+            # overtake this one even exists, so "nothing else in flight"
+            # proves nothing about commutativity.
+            point = ChoicePoint(
+                "lag", steps,
+                key=f"{msg.kind}:{msg.src}->{msg.dst}")
+            k = source.choose(point)
+            if not 0 <= k < steps:
+                raise ValueError(
+                    f"schedule source chose lag step {k} of {steps}")
+            return lat * (1.0 + source.lag_slack * k / (steps - 1))
         if self.params.jitter > 0.0:
             lat *= 1.0 + self.params.jitter * float(
                 self._jitter_rng.uniform(-1.0, 1.0))

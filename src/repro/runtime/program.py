@@ -55,7 +55,7 @@ class Machine:
     def __init__(self, n_images: int, params: Optional[MachineParams] = None,
                  seed: int = 0, tracer=None,
                  faults: Optional[FaultPlan] = None,
-                 racecheck: bool = False):
+                 racecheck: bool = False, schedule=None):
         if params is None:
             params = MachineParams.uniform(n_images)
         if params.n_images != n_images:
@@ -81,6 +81,18 @@ class Machine:
         self.network = Network(self.sim, params, stats=self.stats,
                                jitter_rng=self.rng_pool[n_images],
                                tracer=tracer, faults=faults, seed=seed)
+        #: schedule-exploration source (DESIGN.md §10), or None.  When
+        #: installed, same-instant tie-breaks and delivery lags become
+        #: explicit choice points driven by the source; with None the
+        #: engine's canonical deterministic order is untouched.
+        self.schedule_source = None
+        if schedule is not None:
+            from repro.explore.schedule import as_schedule_source
+
+            source = as_schedule_source(schedule)
+            self.schedule_source = source
+            self.sim.set_schedule_source(source)
+            self.network.schedule_source = source
         self.sim.add_drain_hook(self._liveness_check)
         credits = None
         if params.flow_credits is not None:
@@ -378,7 +390,7 @@ def run_spmd(kernel: Callable, n_images: int,
              args: tuple = (), max_events: Optional[int] = None,
              setup: Optional[Callable[[Machine], None]] = None,
              faults: Optional[FaultPlan] = None,
-             racecheck: bool = False
+             racecheck: bool = False, schedule=None
              ) -> tuple[Machine, list[Any]]:
     """Build a machine, run ``kernel`` SPMD on every image, return
     ``(machine, per-rank results)``.
@@ -388,9 +400,12 @@ def run_spmd(kernel: Callable, n_images: int,
     activity in CAF 2.0).  ``faults`` installs a
     :class:`~repro.net.faults.FaultPlan` (chaos mode); pair it with
     ``params.reliable=True`` unless the stall is the point.
+    ``schedule`` installs a :class:`~repro.explore.schedule.Schedule`
+    (replay) or :class:`~repro.explore.schedule.ScheduleSource`
+    (exploration) that drives scheduling tie-breaks and delivery lags.
     """
     machine = Machine(n_images, params=params, seed=seed, faults=faults,
-                      racecheck=racecheck)
+                      racecheck=racecheck, schedule=schedule)
     if setup is not None:
         setup(machine)
     machine.launch(kernel, args=args)

@@ -43,6 +43,20 @@ ordered queue:
 Cancellation marks the entry in place (``entry[2] = None``) and counts it
 in a stale counter, which keeps :attr:`Simulator.pending_events` O(1);
 stale entries are skipped (and the counter repaid) when they surface.
+
+Schedule exploration (DESIGN.md §10)
+------------------------------------
+Ties among same-instant events are normally broken by insertion order —
+a *hidden* scheduling decision baked into the queue structures above.
+:meth:`Simulator.set_schedule_source` turns that decision into an
+explicit, recordable choice: with a source installed, :meth:`run`
+switches to a controlled loop that gathers every live event due at the
+earliest pending instant into a batch and asks the source which fires
+next (a ``"ready"`` :class:`ChoicePoint`).  Choosing index 0 at every
+point reproduces the baseline (time, seq) order exactly; other indices
+explore alternative interleavings.  With no source installed the three
+fast structures and loops below are untouched — behavior and cost are
+bit-identical to a build without the hook.
 """
 
 from __future__ import annotations
@@ -63,6 +77,64 @@ Event = List[Any]
 class SimulationError(RuntimeError):
     """Raised for malformed use of the simulator (negative delays,
     scheduling into the past, running a finished simulation, ...)."""
+
+
+class ChoicePoint:
+    """One explicit nondeterminism point offered to a schedule source.
+
+    Defined here (the lowest layer) so both the simulator (``"ready"``
+    tie-breaks) and the transport (``"lag"`` delivery decisions) can
+    construct one without importing the exploration package.
+
+    Attributes
+    ----------
+    domain:
+        ``"ready"`` — pick which of ``n`` same-instant events fires
+        next; ``"lag"`` — pick one of ``n`` discrete extra-delay steps
+        for a wire transmission.
+    n:
+        Number of alternatives; the source must return an int in
+        ``[0, n)``.  Alternative 0 always reproduces baseline behavior.
+    labels:
+        Per-alternative identity keys (``"ready"`` only): a stable,
+        reproducible name for each candidate event's actor, used by
+        priority-based strategies and the commuting-choice filter.
+    key:
+        A stable name for the point itself (``"lag"``: kind and link).
+    branch_hint:
+        False when alternatives provably commute with everything else in
+        flight (e.g. a lag choice with no other message bound for the
+        same image) — systematic strategies may skip branching here.
+    """
+
+    __slots__ = ("domain", "n", "labels", "key", "branch_hint")
+
+    def __init__(self, domain: str, n: int, labels: tuple = (),
+                 key: Optional[str] = None, branch_hint: bool = True):
+        self.domain = domain
+        self.n = n
+        self.labels = labels
+        self.key = key
+        self.branch_hint = branch_hint
+
+    def __repr__(self) -> str:
+        return (f"ChoicePoint({self.domain!r}, n={self.n}, "
+                f"key={self.key!r})")
+
+
+def _event_label(entry: Event) -> str:
+    """A reproducible identity for a queued event's actor: the owning
+    task for task continuations, the callback's qualified name
+    otherwise.  Never uses object ids (they vary run to run)."""
+    fn = entry[2]
+    owner = getattr(fn, "__self__", None)
+    tid = getattr(owner, "tid", None)
+    if tid is not None:
+        return f"task:{tid}"
+    name = getattr(fn, "__qualname__", None)
+    if name is None:
+        name = type(fn).__name__
+    return name
 
 
 class LivenessError(SimulationError):
@@ -90,7 +162,7 @@ class Simulator:
 
     __slots__ = ("_now", "_heap", "_ready", "_single", "_seq", "_stale",
                  "_events_processed", "_running", "_drain_hooks",
-                 "_task_seq", "_busy")
+                 "_task_seq", "_busy", "_schedule_source", "_batch")
 
     def __init__(self) -> None:
         self._now: float = 0.0
@@ -103,6 +175,11 @@ class Simulator:
         self._running = False
         self._drain_hooks: list[Callable[["Simulator"], None]] = []
         self._task_seq = 0       # per-simulator task-id stream (tasks.py)
+        #: explicit-nondeterminism hook (None = baseline fast loops)
+        self._schedule_source = None
+        #: same-instant candidate batch of the controlled loop; always
+        #: empty outside a controlled run
+        self._batch: list[Event] = []
         #: True whenever the heap or the ready deque holds entries —
         #: conservatively sticky (may stay True after they drain mid-run,
         #: re-cleared at the next natural drain).  Lets the staging check
@@ -131,7 +208,7 @@ class Simulator:
         """Number of live (non-cancelled) events still queued.  O(1):
         derived from container sizes and the stale counter instead of
         scanning the heap."""
-        n = len(self._heap) + len(self._ready) - self._stale
+        n = len(self._heap) + len(self._ready) + len(self._batch) - self._stale
         return n + 1 if self._single is not None else n
 
     def next_task_id(self) -> int:
@@ -273,7 +350,7 @@ class Simulator:
         between.  The task layer keys its synchronous continuations on
         this, which is what makes them order-identical to the scheduled
         path (DESIGN.md §9)."""
-        if self._ready:
+        if self._ready or self._batch:
             return False
         heap = self._heap
         while heap and heap[0][2] is None:
@@ -292,6 +369,27 @@ class Simulator:
         case the run resumes.  Hooks run in registration order, once per
         drain."""
         self._drain_hooks.append(fn)
+
+    # ------------------------------------------------------------------ #
+    # Schedule exploration hook
+    # ------------------------------------------------------------------ #
+
+    @property
+    def schedule_source(self):
+        """The installed schedule source, or None (baseline engine)."""
+        return self._schedule_source
+
+    def set_schedule_source(self, source) -> None:
+        """Install (or clear, with None) a schedule source — an object
+        with ``choose(point: ChoicePoint) -> int``.  With a source
+        installed, :meth:`run` uses the controlled loop: every tie among
+        same-instant events becomes an explicit choice the source makes.
+        Index 0 always means "baseline order".  May not be changed while
+        the simulator is running."""
+        if self._running:
+            raise SimulationError(
+                "cannot change the schedule source mid-run")
+        self._schedule_source = source
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -353,7 +451,9 @@ class Simulator:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
         try:
-            if until is None and max_events is None:
+            if self._schedule_source is not None:
+                self._run_controlled(until, max_events)
+            elif until is None and max_events is None:
                 self._run_fast()
             else:
                 self._run_guarded(until, max_events)
@@ -491,3 +591,126 @@ class Simulator:
                 self._fire(ready.popleft())
             else:
                 self._fire(_heappop(heap))
+
+    def _run_controlled(self, until: Optional[float],
+                        max_events: Optional[int]) -> None:
+        """The exploration loop: every live event due at the earliest
+        pending instant is gathered into a *batch*, and the installed
+        schedule source picks which batch member fires next.
+
+        The batch is built in canonical (time, seq) order — ready-deque
+        entries first (they drain before the heap in the baseline
+        loops), then heap entries in seq order — and events a fired
+        callback schedules *at the current instant* are appended at the
+        end, exactly where their fresh seqs would place them.  Choosing
+        index 0 at every point therefore replays the baseline schedule
+        bit for bit; any other index is a legal alternative interleaving
+        of the same instant.
+
+        While the batch is non-empty its members are due *now* but live
+        in no container, so :meth:`quiescent_at_now` and
+        :attr:`pending_events` account for it explicitly, and
+        :meth:`cancel` treats batch members like queued entries (mark +
+        stale count; the batch filter repays the counter)."""
+        if until is not None:
+            raise SimulationError(
+                "until= is not supported with a schedule source installed"
+            )
+        source = self._schedule_source
+        heap = self._heap
+        ready = self._ready
+        batch = self._batch
+        budget = max_events
+        try:
+            while True:
+                if not batch:
+                    # Open the next instant: flush the staging slot, then
+                    # collect everything live due at the minimum time.
+                    single = self._single
+                    if single is not None:
+                        self._seq = single[1] = self._seq + 1
+                        _heappush(heap, single)
+                        self._single = None
+                    while ready:
+                        e = ready.popleft()
+                        if e[2] is None:
+                            self._stale -= 1
+                        else:
+                            batch.append(e)
+                    if batch:
+                        t = self._now
+                    else:
+                        while heap and heap[0][2] is None:
+                            _heappop(heap)
+                            self._stale -= 1
+                        if not heap:
+                            # Natural drain: same hook protocol as the
+                            # baseline loops.
+                            self._busy = False
+                            if not self._drain_hooks:
+                                return
+                            for hook in list(self._drain_hooks):
+                                hook(self)
+                            if (not heap and not ready
+                                    and self._single is None):
+                                return
+                            continue
+                        t = heap[0][0]
+                        self._now = t
+                    while heap and heap[0][0] <= t:
+                        e = _heappop(heap)
+                        if e[2] is None:
+                            self._stale -= 1
+                        else:
+                            batch.append(e)
+                # Entries cancelled while parked in the batch.
+                for e in batch:
+                    if e[2] is None:
+                        live = [x for x in batch if x[2] is not None]
+                        self._stale -= len(batch) - len(live)
+                        batch[:] = live
+                        break
+                if not batch:
+                    continue
+                if len(batch) == 1:
+                    idx = 0
+                else:
+                    point = ChoicePoint(
+                        "ready", len(batch),
+                        labels=tuple(_event_label(e) for e in batch))
+                    idx = source.choose(point)
+                    if not 0 <= idx < len(batch):
+                        raise SimulationError(
+                            f"schedule source chose {idx} of "
+                            f"{len(batch)} ready alternatives")
+                entry = batch.pop(idx)
+                if budget is not None:
+                    if budget == 0:
+                        raise SimulationError(
+                            f"max_events exhausted at t={self._now!r} "
+                            f"({self._events_processed} events processed)"
+                        )
+                    budget -= 1
+                self._busy = True
+                self._fire(entry)
+                # Same-instant events the callback just scheduled sit in
+                # the ready deque; fold them onto the batch tail (their
+                # seqs are larger than every batched entry's).
+                while ready:
+                    e = ready.popleft()
+                    if e[2] is None:
+                        self._stale -= 1
+                    else:
+                        batch.append(e)
+        finally:
+            if batch:
+                # Interrupted mid-instant (source raised, budget blown):
+                # park the batch back in the ready deque so the queue
+                # state stays consistent for diagnostics.
+                for e in reversed(batch):
+                    if e[2] is None:
+                        self._stale -= 1
+                    else:
+                        e[1] = -1
+                        ready.appendleft(e)
+                batch.clear()

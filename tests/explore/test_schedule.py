@@ -1,0 +1,143 @@
+"""Unit tests for schedules, recording and replay."""
+
+import json
+
+import pytest
+
+from repro.sim.engine import ChoicePoint
+from repro.explore.schedule import (
+    ChoiceRecord,
+    DefaultSource,
+    RecordingSource,
+    ReplayDivergence,
+    ReplaySource,
+    Schedule,
+    as_schedule_source,
+)
+
+
+def _point(domain="ready", n=3, labels=(), key=None, branch_hint=True):
+    return ChoicePoint(domain, n, labels=labels, key=key,
+                       branch_hint=branch_hint)
+
+
+class TestChoiceRecord:
+    def test_json_round_trip(self):
+        rec = ChoiceRecord("ready", 3, 2, labels=("task:1", "task:2",
+                                                  "task:3"),
+                           key=None, branch_hint=True)
+        back = ChoiceRecord.from_json(rec.to_json())
+        assert back == rec
+        assert back.labels == rec.labels
+
+    def test_json_round_trip_lag(self):
+        rec = ChoiceRecord("lag", 4, 1, key="copy:0->1", branch_hint=False)
+        back = ChoiceRecord.from_json(rec.to_json())
+        assert back == rec
+        assert back.key == "copy:0->1"
+        assert back.branch_hint is False
+
+    def test_replace_keeps_identity(self):
+        rec = ChoiceRecord("lag", 4, 3, key="k")
+        zeroed = rec.replace(0)
+        assert zeroed.choice == 0
+        assert (zeroed.domain, zeroed.n, zeroed.key) == ("lag", 4, "k")
+        assert rec.choice == 3  # original untouched
+
+
+class TestRecordingSource:
+    def test_records_every_decision(self):
+        recorder = RecordingSource(DefaultSource())
+        assert recorder.choose(_point(n=3)) == 0
+        assert recorder.choose(_point("lag", 4, key="x:0->1")) == 0
+        assert [r.domain for r in recorder.records] == ["ready", "lag"]
+        assert [r.choice for r in recorder.records] == [0, 0]
+
+    def test_proxies_lag_parameters(self):
+        inner = DefaultSource()
+        inner.lag_steps, inner.lag_slack = 5, 0.6
+        recorder = RecordingSource(inner)
+        assert (recorder.lag_steps, recorder.lag_slack) == (5, 0.6)
+
+
+class TestReplaySource:
+    def test_replays_choices_then_baseline(self):
+        records = [ChoiceRecord("ready", 3, 2), ChoiceRecord("lag", 4, 1)]
+        replay = ReplaySource(records)
+        assert replay.choose(_point(n=3)) == 2
+        assert replay.choose(_point("lag", 4)) == 1
+        assert replay.choose(_point(n=5)) == 0  # past the recording
+        assert replay.position == 3
+
+    def test_strict_rejects_domain_mismatch(self):
+        replay = ReplaySource([ChoiceRecord("ready", 3, 1)], strict=True)
+        with pytest.raises(ReplayDivergence):
+            replay.choose(_point("lag", 3))
+
+    def test_strict_rejects_count_mismatch(self):
+        replay = ReplaySource([ChoiceRecord("ready", 3, 1)], strict=True)
+        with pytest.raises(ReplayDivergence):
+            replay.choose(_point(n=2))
+
+    def test_lenient_clamps(self):
+        replay = ReplaySource([ChoiceRecord("ready", 5, 4)], strict=False)
+        assert replay.choose(_point(n=2)) == 1  # clamped into range
+
+
+class TestSchedule:
+    def _schedule(self):
+        return Schedule(
+            [ChoiceRecord("ready", 3, 1, labels=("a", "b", "c")),
+             ChoiceRecord("lag", 4, 0, key="x:0->1"),
+             ChoiceRecord("lag", 4, 2, key="y:1->0")],
+            meta={"strategy": "test"},
+            fault_plan={"drop": 0.1},
+            outcome={"failed": True, "kind": "invariant",
+                     "fingerprint": "abc"},
+            lag_steps=4, lag_slack=0.5,
+        )
+
+    def test_json_round_trip(self):
+        sched = self._schedule()
+        back = Schedule.from_json(json.loads(json.dumps(sched.to_json())))
+        assert back.choices() == sched.choices()
+        assert back.records == sched.records
+        assert back.meta == sched.meta
+        assert back.fault_plan == sched.fault_plan
+        assert back.outcome == sched.outcome
+        assert (back.lag_steps, back.lag_slack) == (4, 0.5)
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "schedule.json"
+        sched = self._schedule()
+        sched.save(path)
+        back = Schedule.load(path)
+        assert back.records == sched.records
+
+    def test_version_check(self):
+        with pytest.raises(ValueError):
+            Schedule.from_json({"version": 99, "choices": []})
+
+    def test_nonzero_choices(self):
+        assert self._schedule().nonzero_choices() == 2
+
+    def test_source_inherits_lag_parameters(self):
+        source = self._schedule().source()
+        assert (source.lag_steps, source.lag_slack) == (4, 0.5)
+
+
+class TestCoercion:
+    def test_schedule_becomes_strict_replay(self):
+        sched = Schedule([ChoiceRecord("ready", 2, 1)])
+        source = as_schedule_source(sched)
+        assert isinstance(source, ReplaySource)
+        with pytest.raises(ReplayDivergence):
+            source.choose(_point(n=3))
+
+    def test_sources_pass_through(self):
+        src = DefaultSource()
+        assert as_schedule_source(src) is src
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_schedule_source(42)

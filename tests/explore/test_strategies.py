@@ -1,0 +1,149 @@
+"""Unit tests for the exploration strategies.
+
+Strategies are exercised against hand-built ChoicePoint streams — no
+simulator needed: a run is just a sequence of choose() calls, and DFS
+additionally gets source.points/path fed back through observe().
+"""
+
+from repro.sim.engine import ChoicePoint
+from repro.explore.strategies import (
+    DFSStrategy,
+    PCTSource,
+    PCTStrategy,
+    RandomWalkSource,
+    RandomWalkStrategy,
+)
+
+
+def _ready(n, labels=None):
+    labels = tuple(labels) if labels else tuple(f"task:{i}" for i in range(n))
+    return ChoicePoint("ready", n, labels=labels)
+
+
+def _lag(n, key="copy:0->1", branch_hint=True):
+    return ChoicePoint("lag", n, key=key, branch_hint=branch_hint)
+
+
+class TestRandomWalk:
+    def test_choices_stay_in_range(self):
+        src = RandomWalkSource(seed=0)
+        for n in (1, 2, 3, 7):
+            for _ in range(50):
+                assert 0 <= src.choose(_ready(n)) < n
+
+    def test_same_seed_same_walk(self):
+        points = [_ready(3), _lag(4), _ready(2), _lag(4, "x:1->0")]
+        walk_a = [RandomWalkSource(seed=9).choose(p) for p in points]
+        walk_b = [RandomWalkSource(seed=9).choose(p) for p in points]
+        assert walk_a == walk_b
+
+    def test_strategy_varies_seed_per_run(self):
+        strat = RandomWalkStrategy(seed=0)
+        points = [_ready(5) for _ in range(20)]
+        runs = {tuple(strat.begin_run(i).choose(p) for p in points)
+                for i in range(4)}
+        assert len(runs) > 1  # different runs explore different walks
+        assert not strat.exhausted  # random walk never gives up
+
+
+class TestPCT:
+    def test_highest_priority_label_wins_consistently(self):
+        src = PCTSource(seed=1, change_points=0)
+        first = src.choose(_ready(3, ["a", "b", "c"]))
+        # same candidate set, any order: the same label must win
+        perms = [["a", "b", "c"], ["c", "a", "b"], ["b", "c", "a"]]
+        winner = perms[0][first]
+        for perm in perms[1:]:
+            assert perm[src.choose(_ready(3, perm))] == winner
+
+    def test_demotion_changes_winner(self):
+        labels = ["a", "b", "c"]
+        plain = PCTSource(seed=5, change_points=0)
+        baseline = [plain.choose(_ready(3, labels)) for _ in range(30)]
+        assert len(set(baseline)) == 1  # stable winner without demotion
+
+        demoting = PCTSource(seed=5, change_points=3, horizon=30)
+        demoted = [demoting.choose(_ready(3, labels)) for _ in range(30)]
+        assert demoted != baseline  # a change point reshuffled priorities
+
+    def test_new_labels_get_priorities_lazily(self):
+        src = PCTSource(seed=2, change_points=0)
+        src.choose(_ready(2, ["a", "b"]))
+        pick = src.choose(_ready(3, ["a", "b", "z"]))
+        assert 0 <= pick < 3  # unseen label handled without error
+
+    def test_strategy_runs_are_seed_deterministic(self):
+        points = [_ready(3, ["a", "b", "c"]) for _ in range(10)]
+        run_a = [PCTStrategy(seed=4).begin_run(2).choose(p) for p in points]
+        run_b = [PCTStrategy(seed=4).begin_run(2).choose(p) for p in points]
+        assert run_a == run_b
+
+
+class TestDFS:
+    def _drive(self, strat, tree, max_runs=100):
+        """Run the DFS loop over a synthetic choice tree.
+
+        `tree(choices) -> list of ChoicePoints` produces the points a
+        run with that choice prefix would encounter.  Returns the list
+        of explored choice sequences.
+        """
+        explored = []
+        for i in range(max_runs):
+            if strat.exhausted:
+                break
+            src = strat.begin_run(i)
+            choices = []
+            while True:
+                points = tree(choices)
+                if len(points) <= len(choices):
+                    break
+                choices.append(src.choose(points[len(choices)]))
+            explored.append(tuple(choices))
+            strat.observe(None, None)
+        return explored
+
+    def test_enumerates_all_paths_then_exhausts(self):
+        # two binary branch points with distinct labels -> 4 paths
+        def tree(_choices):
+            return [_ready(2, ["a", "b"]), _ready(2, ["c", "d"])]
+
+        explored = self._drive(DFSStrategy(max_depth=10), tree)
+        assert set(explored) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+        assert len(explored) == 4  # no duplicates, then exhausted
+
+    def test_commuting_alternatives_skipped(self):
+        # both candidates carry the same label: picking either commutes,
+        # so DFS must not branch there
+        def tree(_choices):
+            return [_ready(2, ["same", "same"]), _ready(2, ["a", "b"])]
+
+        explored = self._drive(DFSStrategy(max_depth=10), tree)
+        assert set(explored) == {(0, 0), (0, 1)}
+
+    def test_unbranchable_points_not_branched(self):
+        def tree(_choices):
+            return [_lag(3, branch_hint=False), _ready(2, ["a", "b"])]
+
+        explored = self._drive(DFSStrategy(max_depth=10), tree)
+        assert {c[0] for c in explored} == {0}
+        assert {c[1] for c in explored} == {0, 1}
+
+    def test_max_depth_bounds_branching(self):
+        def tree(_choices):
+            return [_ready(2, [f"p{d}a", f"p{d}b"]) for d in range(5)]
+
+        explored = self._drive(DFSStrategy(max_depth=2), tree)
+        # only the first two positions branch: 4 paths, tail always 0
+        assert len(explored) == 4
+        assert all(c[2:] == (0, 0, 0) for c in explored)
+
+    def test_divergent_subtrees(self):
+        # the first choice changes what points exist afterwards
+        def tree(choices):
+            points = [_ready(2, ["left", "right"])]
+            if choices and choices[0] == 1:
+                points.append(_ready(3, ["x", "y", "z"]))
+            return points
+
+        explored = self._drive(DFSStrategy(max_depth=10), tree)
+        assert set(explored) == {(0,), (1, 0), (1, 1), (1, 2)}

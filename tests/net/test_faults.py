@@ -111,3 +111,62 @@ class TestDecisions:
     def test_describe_mentions_configuration(self):
         text = repr(FaultPlan(drop=0.1, seed=5).drop_nth("spawn", 3))
         assert "drop=0.1" in text and "seed=5" in text and "spawn" in text
+
+
+class TestScriptedDropsAndCloning:
+    """Corners the schedule explorer leans on: iterable drop_nth
+    scripts, clone isolation, and config round-trips."""
+
+    def test_drop_nth_accepts_any_iterable(self):
+        plan = FaultPlan().drop_nth("coll.up", (i for i in (1, 3)))
+        hits = [plan.take_scripted_drop("coll.up") for _ in range(4)]
+        assert hits == [True, False, True, False]
+
+    def test_drop_nth_chains_and_merges(self):
+        plan = FaultPlan().drop_nth("a", 1).drop_nth("a", [3, 5])
+        hits = [plan.take_scripted_drop("a") for _ in range(5)]
+        assert hits == [True, False, True, False, True]
+        # duplicate indices collapse (a set, not a multiset)
+        plan2 = FaultPlan().drop_nth("a", [2, 2]).drop_nth("a", 2)
+        assert [plan2.take_scripted_drop("a") for _ in range(3)] \
+            == [False, True, False]
+
+    def test_clone_isolates_scripted_state(self):
+        plan = FaultPlan().drop_nth("spawn", 1)
+        fresh = plan.clone()
+        # scripting the clone must not leak back into the original...
+        fresh.drop_nth("spawn", 2)
+        assert [plan.take_scripted_drop("spawn") for _ in range(2)] \
+            == [True, False]
+        # ...and vice versa
+        plan.drop_nth("coll.up", 1)
+        assert not fresh.take_scripted_drop("coll.up")
+        assert fresh._scripted == {("spawn", 1), ("spawn", 2)}
+
+    def test_clone_isolates_kind_counts(self):
+        plan = FaultPlan().drop_nth("spawn", 2)
+        assert not plan.take_scripted_drop("spawn")  # count -> 1
+        fresh = plan.clone()
+        # the clone's count restarts, so index 2 is two sends away
+        assert [fresh.take_scripted_drop("spawn") for _ in range(2)] \
+            == [False, True]
+        # the original's count was not reset by cloning
+        assert plan.take_scripted_drop("spawn")
+
+    def test_config_round_trip(self):
+        plan = FaultPlan(
+            drop=0.1, duplicate=0.05, reorder=0.5, ack_drop=0.2,
+            link_drop={(0, 1): 0.3}, stalls=[NicStall(1, 1e-3, 2e-3)],
+            seed=7,
+        ).drop_nth("coll.up", (2, 4)).drop_nth("spawn", 1)
+        rebuilt = FaultPlan.from_config(plan.to_config())
+        assert rebuilt.to_config() == plan.to_config()
+        # same decision stream
+        reference = FaultPlan(drop=0.1, duplicate=0.05, reorder=0.5,
+                              ack_drop=0.2, link_drop={(0, 1): 0.3},
+                              seed=7)
+        assert ([rebuilt.roll_drop(0, 1) for _ in range(20)]
+                == [reference.roll_drop(0, 1) for _ in range(20)])
+        # same scripted-drop script, virgin counts
+        assert [rebuilt.take_scripted_drop("coll.up") for _ in range(4)] \
+            == [False, True, False, True]

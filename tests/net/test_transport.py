@@ -104,8 +104,15 @@ class TestJitterAndStats:
         assert order != list(range(20))
 
     def test_jitter_is_deterministic(self):
+        # reproducibility requires a seed: seedless networks deliberately
+        # draw distinct streams (see TestFallbackRngSeeding)
         def run_once():
-            sim, net = make_net(jitter=0.5)
+            sim = Simulator()
+            params = MachineParams(
+                topology=UniformTopology(4, wire_latency=1e-6,
+                                         self_latency=1e-7),
+                bandwidth=1e9, o_send=1e-7, o_recv=1e-7, jitter=0.5)
+            net = Network(sim, params, seed=7)
             order = []
             for tag in range(10):
                 net.send(Message(0, 1, 0, tag,
@@ -136,3 +143,51 @@ class TestJitterAndStats:
 def test_negative_size_rejected():
     with pytest.raises(ValueError):
         Message(0, 1, -5, None)
+
+
+class TestFallbackRngSeeding:
+    """Seedless networks must not share random streams (regression:
+    the fallback jitter/fault streams were built from fixed constants,
+    so every seedless Network in a process drew identical jitter)."""
+
+    def _delivery_times(self, net, sim, n_msgs=16):
+        times = []
+        for i in range(n_msgs):
+            net.send(Message(0, 1, 100, None,
+                             on_deliver=lambda m: times.append(sim.now)))
+        sim.run()
+        return times
+
+    def test_seedless_networks_draw_distinct_jitter(self):
+        runs = []
+        for _ in range(2):
+            sim, net = make_net(jitter=0.5)
+            runs.append(self._delivery_times(net, sim))
+        assert runs[0] != runs[1]
+
+    def test_seeded_networks_stay_reproducible(self):
+        runs = []
+        for _ in range(2):
+            sim = Simulator()
+            params = MachineParams(
+                topology=UniformTopology(4, wire_latency=1e-6,
+                                         self_latency=1e-7),
+                bandwidth=1e9, o_send=1e-7, o_recv=1e-7, jitter=0.5)
+            net = Network(sim, params, seed=42)
+            runs.append(self._delivery_times(net, sim))
+        assert runs[0] == runs[1]
+
+    def test_seedless_fault_streams_distinct(self):
+        from repro.net.faults import FaultPlan
+
+        decisions = []
+        for _ in range(2):
+            sim = Simulator()
+            params = MachineParams(
+                topology=UniformTopology(4, wire_latency=1e-6,
+                                         self_latency=1e-7),
+                bandwidth=1e9, o_send=1e-7, o_recv=1e-7)
+            net = Network(sim, params, faults=FaultPlan(drop=0.5))
+            decisions.append([net.faults.roll_drop(0, 1)
+                              for _ in range(64)])
+        assert decisions[0] != decisions[1]
