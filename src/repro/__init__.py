@@ -26,10 +26,12 @@ from repro.net.topology import (
     HierarchicalTopology,
     HypercubeTopology,
 )
-from repro.net.transport import RetryExhaustedError
+from repro.net.transport import PeerFailedError, RetryExhaustedError
 from repro.sim.engine import LivenessError
 from repro.runtime import (
     ANY,
+    FailureConfig,
+    ImageFailureError,
     READ,
     WRITE,
     Coarray,
@@ -51,6 +53,9 @@ __all__ = [
     "FaultPlan",
     "NicStall",
     "RetryExhaustedError",
+    "PeerFailedError",
+    "FailureConfig",
+    "ImageFailureError",
     "LivenessError",
     "MachineParams",
     "UniformTopology",

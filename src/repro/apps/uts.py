@@ -152,6 +152,10 @@ class UTSResult:
     dups: int = 0
     #: race-detector findings (0 unless racecheck was enabled AND racy)
     races: int = 0
+    #: world ranks that fail-stopped during the run (crash injection)
+    failed_images: tuple = ()
+    #: shipped functions re-executed on survivors by recovery
+    recovered_spawns: int = 0
 
 
 class _UTSState:
@@ -349,25 +353,35 @@ def uts_kernel(img, config: UTSConfig) -> Generator[Any, Any, int]:
 
 def run_uts(n_images: int, config: Optional[UTSConfig] = None,
             params=None, seed: int = 0, faults=None,
-            racecheck: bool = False) -> UTSResult:
-    """Run the distributed UTS benchmark; returns measurements."""
+            racecheck: bool = False, failure_detection=None) -> UTSResult:
+    """Run the distributed UTS benchmark; returns measurements.
+
+    ``failure_detection`` (see :func:`repro.runtime.program.run_spmd`)
+    arms the heartbeat detector; with recovery enabled a mid-run crash
+    still yields the correct total tree count — the crash demo of
+    DESIGN §11.  A dead image contributes 0 to ``total_nodes`` (its
+    memory died with it); recovery re-executes its lost work on
+    survivors, where the re-explored nodes are counted."""
     from repro.runtime.program import run_spmd
 
     config = config if config is not None else UTSConfig()
     machine, per_image = run_spmd(uts_kernel, n_images, params=params,
                                   seed=seed, args=(config,), faults=faults,
-                                  racecheck=racecheck)
+                                  racecheck=racecheck,
+                                  failure_detection=failure_detection)
     return UTSResult(
-        total_nodes=sum(per_image),
+        total_nodes=sum(n for n in per_image if n is not None),
         sim_time=machine.sim.now,
         nodes_per_image=per_image,
         busy_per_image=machine.busy.busy.tolist(),
         steals_attempted=machine.stats["uts.steals_attempted"],
         steals_successful=machine.stats["uts.steals_successful"],
         lifeline_pushes=machine.stats["uts.lifeline_pushes"],
-        finish_rounds=machine.scratch["uts.finish_rounds"],
+        finish_rounds=machine.scratch.get("uts.finish_rounds", 0),
         retransmits=machine.stats["net.retransmits"],
         drops=machine.stats["net.drops"],
         dups=machine.stats["net.dups"],
         races=(machine.racecheck.race_count if racecheck else 0),
+        failed_images=tuple(sorted(machine.dead_images)),
+        recovered_spawns=machine.stats["spawn.recovered"],
     )

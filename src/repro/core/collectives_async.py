@@ -213,14 +213,15 @@ def _bcast_forward(machine, team: Team, my_tr: int, seq: int, root: int,
         state.pair_futures.extend([inj, ack])
         if state.key is not None:
             receipt.delivered.add_done_callback(
-                lambda _f, k=state.key, s=stamp, w=src_w:
-                fin.count_delivered(machine, w, k, s))
+                lambda f, k=state.key, s=stamp, w=src_w:
+                fin.count_delivery_outcome(machine, w, k, s, f))
     state.my_work_done = True
 
 
 def _make_bcast_handler(machine):
     def handle_bcast(ctx, team_id, seq, root, radix, key, tag):
-        recv_stamp = fin.count_received(machine, ctx.image, key, tag)
+        recv_stamp = fin.count_received(machine, ctx.image, key, tag,
+                                        src=ctx.src)
         state = machine.coll_state(ctx.image, team_id, seq, _AState)
         state.arrived = True
         state.arrived_payload = ctx.payload
@@ -261,7 +262,8 @@ def _bcast_apply(machine, team, my_tr, seq, root, radix,
 
 def _make_reduce_up_handler(machine):
     def handle_reduce_up(ctx, team_id, seq, root, radix, key, tag):
-        recv_stamp = fin.count_received(machine, ctx.image, key, tag)
+        recv_stamp = fin.count_received(machine, ctx.image, key, tag,
+                                        src=ctx.src)
         state = machine.coll_state(ctx.image, team_id, seq, _AState)
         state.child_values.append(ctx.payload)
         team = machine.team_by_id(team_id)
@@ -401,8 +403,8 @@ def _reduce_try_combine(machine, team: Team, my_tr: int, seq: int,
         state.pair_futures.extend([inj, ack])
         if state.key is not None:
             receipt.delivered.add_done_callback(
-                lambda _f, k=state.key, s=stamp:
-                fin.count_delivered(machine, w, k, s))
+                lambda f, k=state.key, s=stamp:
+                fin.count_delivery_outcome(machine, w, k, s, f))
         if state.phase2:
             # Non-root in an allreduce: completion comes with the
             # downward broadcast (handled by the bcast handler, which
@@ -464,7 +466,8 @@ def _composite(ctx, kind: str, team: Optional[Team], src_event, local_event,
         if key is not None:
             fin.count_delivered(machine, ctx.rank, key, stamp)
             recv_stamp = fin.count_received(machine, ctx.rank, key,
-                                            fin.wire_tag(stamp))
+                                            fin.wire_tag(stamp),
+                                            src=ctx.rank)
             fin.count_completed(machine, ctx.rank, key, recv_stamp)
 
     machine.start_internal_task(runner(), name=f"{kind}_async@{ctx.rank}")

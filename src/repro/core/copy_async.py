@@ -118,7 +118,8 @@ def _ensure_handlers(machine) -> None:
 def _make_put_handler(machine):
     def handle_put(ctx, ref: CoarrayRef, key, tag, dest_event,
                    done_token, done_rank):
-        recv_stamp = fin.count_received(machine, ctx.image, key, tag)
+        recv_stamp = fin.count_received(machine, ctx.image, key, tag,
+                                        src=ctx.src)
         ref.write(ctx.payload)
         fin.count_completed(machine, ctx.image, key, recv_stamp)
         if dest_event is not None:
@@ -134,7 +135,8 @@ def _make_put_handler(machine):
 def _make_get_req_handler(machine):
     def handle_get_req(ctx, ref: CoarrayRef, token, key, tag, src_event,
                        reply_rank):
-        recv_stamp = fin.count_received(machine, ctx.image, key, tag)
+        recv_stamp = fin.count_received(machine, ctx.image, key, tag,
+                                        src=ctx.src)
         data = ref.read()
         if src_event is not None:
             machine.post_event(src_event, from_rank=ctx.image)
@@ -149,15 +151,16 @@ def _make_get_req_handler(machine):
         if key is not None:
             src_img = ctx.image
             receipt.delivered.add_done_callback(
-                lambda _f: fin.count_delivered(machine, src_img, key,
-                                               reply_stamp))
+                lambda f: fin.count_delivery_outcome(machine, src_img, key,
+                                                     reply_stamp, f))
         fin.count_completed(machine, ctx.image, key, recv_stamp)
     return handle_get_req
 
 
 def _make_data_handler(machine):
     def handle_data(ctx, token, key, reply_tag):
-        recv_stamp = fin.count_received(machine, ctx.image, key, reply_tag)
+        recv_stamp = fin.count_received(machine, ctx.image, key, reply_tag,
+                                        src=ctx.src)
         complete = machine.scratch.pop(("copy.token", token))
         complete(ctx.payload)
         fin.count_completed(machine, ctx.image, key, recv_stamp)
@@ -167,7 +170,8 @@ def _make_data_handler(machine):
 def _make_fwd_handler(machine):
     def handle_fwd(ctx, src_ref: CoarrayRef, dest_ref: CoarrayRef, key, tag,
                    src_event, dest_event, done_token, done_rank):
-        recv_stamp = fin.count_received(machine, ctx.image, key, tag)
+        recv_stamp = fin.count_received(machine, ctx.image, key, tag,
+                                        src=ctx.src)
         data = src_ref.read()
         if src_event is not None:
             machine.post_event(src_event, from_rank=ctx.image)
@@ -184,8 +188,8 @@ def _make_fwd_handler(machine):
         )
         if key is not None:
             receipt.delivered.add_done_callback(
-                lambda _f: fin.count_delivered(machine, src_img, key,
-                                               put_stamp))
+                lambda f: fin.count_delivery_outcome(machine, src_img, key,
+                                                     put_stamp, f))
         fin.count_completed(machine, ctx.image, key, recv_stamp)
     return handle_fwd
 
@@ -311,7 +315,8 @@ def _start_put(ctx, machine, op: AsyncOp, d: _Loc, s: _Loc, key,
     chain(receipt.delivered, op.local_op)
     chain(receipt.delivered, op.global_done)
     receipt.delivered.add_done_callback(
-        lambda _f: fin.count_delivered(machine, ctx.rank, key, stamp))
+        lambda f: fin.count_delivery_outcome(machine, ctx.rank, key, stamp,
+                                             f))
 
 
 def _start_get(ctx, machine, op: AsyncOp, d: _Loc, s: _Loc, key,
@@ -337,7 +342,8 @@ def _start_get(ctx, machine, op: AsyncOp, d: _Loc, s: _Loc, key,
     )
     if key is not None:
         receipt.delivered.add_done_callback(
-            lambda _f: fin.count_delivered(machine, ctx.rank, key, stamp))
+            lambda f: fin.count_delivery_outcome(machine, ctx.rank, key,
+                                                 stamp, f))
 
 
 def _start_forward(ctx, machine, op: AsyncOp, d: _Loc, s: _Loc, key,
@@ -363,4 +369,5 @@ def _start_forward(ctx, machine, op: AsyncOp, d: _Loc, s: _Loc, key,
     chain(receipt.injected, op.local_data)
     chain(receipt.delivered, op.local_op)
     receipt.delivered.add_done_callback(
-        lambda _f: fin.count_delivered(machine, ctx.rank, key, stamp))
+        lambda f: fin.count_delivery_outcome(machine, ctx.rank, key, stamp,
+                                             f))

@@ -46,6 +46,21 @@ Spawns, asynchronous copies, and asynchronous collectives initiated with
 Operations carrying explicit events manage their own completion and are
 not tracked (§III: finish guarantees are for implicitly-synchronized
 operations).  The detector's own allreduce traffic is never counted.
+
+Failure reconciliation (DESIGN §11)
+-----------------------------------
+Under the fail-stop model a crashed image takes its counters with it, so
+the surviving members' sums can never balance unless every count that
+*paired* with the dead image is removed.  :meth:`FinishFrame.
+reconcile_failure` does that subtraction when the failure detector
+publishes a suspect: fully-delivered sends to the dead peer
+(``delivered_to``) leave ``sent``/``delivered`` together, and receipts
+from it (``received_from``/``completed_from``) leave
+``received``/``completed``.  Sends still in flight are uncounted one at
+a time by :meth:`on_send_failed` when the transport surfaces
+``PeerFailedError`` — never at reconcile time, so nothing is subtracted
+twice.  After reconciliation the peer lands in ``reconciled`` and later
+counter events that name it are ignored.
 """
 
 from __future__ import annotations
@@ -115,6 +130,21 @@ class FinishFrame:
         self.c_completed = 0
         #: per-destination send counts (X10-style vector detector)
         self.sent_to: dict[int, int] = {}
+        # Per-peer pairing counters, consumed by reconcile_failure.
+        self.delivered_to: dict[int, int] = {}
+        self.received_from: dict[int, int] = {}
+        self.completed_from: dict[int, int] = {}
+        #: peers whose counts were reconciled out of this frame; seeded
+        #: from the failure service so frames created lazily *after* a
+        #: suspicion never count traffic paired with the dead image.
+        self.reconciled: set[int] = set()
+        failure = getattr(machine, "failure", None)
+        if failure is not None:
+            self.reconciled |= failure.suspects
+        #: outbound spawn ledger [(spawn_id, dst, fn, args, name)], kept
+        #: only while a failure service with recovery is attached; popped
+        #: per-destination by reconcile_failure for re-execution.
+        self.ledger: list[tuple] = []
 
     # -- epoch machinery ------------------------------------------------- #
 
@@ -145,40 +175,97 @@ class FinishFrame:
 
     # -- counter events ---------------------------------------------------- #
 
-    def on_send(self, dst: Optional[int] = None) -> tuple[bool, int]:
-        """Count an outgoing message; returns the (tag, generation) stamp.
-        The tag travels on the wire; the stamp stays with the sender's
-        ack callback."""
+    def on_send(self, dst: Optional[int] = None) -> tuple[bool, int, Optional[int]]:
+        """Count an outgoing message; returns the (tag, generation, dst)
+        stamp.  The tag travels on the wire; the stamp stays with the
+        sender's ack callback.  Always counts, even toward a suspected
+        peer: the transport guarantees such a send later resolves as
+        failed, and :meth:`on_send_failed` removes exactly this count."""
         self.present.sent += 1
         self.c_sent += 1
         if dst is not None:
             self.sent_to[dst] = self.sent_to.get(dst, 0) + 1
         self.cond.wake()
-        return (self.in_odd, self.gen)
+        return (self.in_odd, self.gen, dst)
 
-    def on_delivered(self, stamp: tuple[bool, int]) -> None:
-        tag_odd, gen = stamp
+    def on_delivered(self, stamp: tuple) -> None:
+        tag_odd, gen, dst = stamp
+        if dst is not None and dst in self.reconciled:
+            return  # the pair was already subtracted wholesale
         self._epoch_for(tag_odd, gen).delivered += 1
         self.c_delivered += 1
+        if dst is not None:
+            self.delivered_to[dst] = self.delivered_to.get(dst, 0) + 1
         self.cond.wake()
 
-    def on_received(self, tag_odd: bool) -> tuple[bool, int]:
+    def on_send_failed(self, stamp: tuple) -> None:
+        """A counted send was reported undeliverable (peer failed):
+        remove its ``sent`` count so the frame can balance without the
+        dead receiver's counters."""
+        tag_odd, gen, dst = stamp
+        self._epoch_for(tag_odd, gen).sent -= 1
+        self.c_sent -= 1
+        if dst is not None and dst in self.sent_to:
+            self.sent_to[dst] -= 1
+        self.machine.stats.incr("finish.sends_failed")
+        self.cond.wake()
+
+    def on_received(self, tag_odd: bool, src: Optional[int] = None
+                    ) -> tuple[bool, int, Optional[int]]:
         """Count an incoming message; returns the receiver-side stamp to
         hand back to :meth:`on_completed` when its local work is done."""
+        if src is not None and src in self.reconciled:
+            return (tag_odd, self.gen, src)  # uncounted; completion skips too
         if tag_odd:
             self.advance_to_odd()
             self.odd.received += 1
         else:
             self.even.received += 1
         self.c_received += 1
+        if src is not None:
+            self.received_from[src] = self.received_from.get(src, 0) + 1
         self.cond.wake()
-        return (tag_odd, self.gen)
+        return (tag_odd, self.gen, src)
 
-    def on_completed(self, stamp: tuple[bool, int]) -> None:
-        tag_odd, gen = stamp
+    def on_completed(self, stamp: tuple) -> None:
+        tag_odd, gen, src = stamp
+        if src is not None and src in self.reconciled:
+            return
         self._epoch_for(tag_odd, gen).completed += 1
         self.c_completed += 1
+        if src is not None:
+            self.completed_from[src] = self.completed_from.get(src, 0) + 1
         self.cond.wake()
+
+    # -- failure reconciliation ----------------------------------------- #
+
+    def reconcile_failure(self, dead: int) -> list[tuple]:
+        """Remove every count paired with ``dead`` (see module docstring)
+        and return the popped ledger entries destined to it, so the
+        caller can re-execute the lost shipped functions.  Idempotent."""
+        if dead in self.reconciled:
+            return []
+        self.reconciled.add(dead)
+        # Collapse both epochs first so the subtraction has one target
+        # and any in-progress detector wave restarts on the gen bump.
+        self.fold_to_even()
+        d = self.delivered_to.pop(dead, 0)
+        r = self.received_from.pop(dead, 0)
+        c = self.completed_from.pop(dead, 0)
+        self.even.sent -= d
+        self.even.delivered -= d
+        self.even.received -= r
+        self.even.completed -= c
+        self.c_sent -= d
+        self.c_delivered -= d
+        self.c_received -= r
+        self.c_completed -= c
+        lost = [e for e in self.ledger if e[1] == dead]
+        if lost:
+            self.ledger = [e for e in self.ledger if e[1] != dead]
+        self.machine.stats.incr("finish.reconciled")
+        self.cond.wake()
+        return lost
 
     def snapshot(self) -> dict:
         """Counter snapshot for liveness diagnostics (see
@@ -201,6 +288,8 @@ class FinishFrame:
                            "completed": self.c_completed},
             "rounds": self.rounds,
             "waiters": self.cond.waiting,
+            "reconciled": sorted(self.reconciled),
+            "ledger": len(self.ledger),
         }
 
     def __repr__(self) -> str:
@@ -241,6 +330,29 @@ def stall_report(machine, blocked: list) -> str:
         lines.append(f"  ... and {len(net.lost) - 8} more lost messages")
     for rec in net.unacked()[:8]:
         lines.append(f"  unacked: {rec}")
+    dead = sorted(getattr(machine, "dead_images", ()))
+    if dead:
+        lines.append(f"  dead images: {dead}")
+    suspects = sorted(getattr(net, "suspects", ()))
+    if suspects:
+        lines.append(f"  suspected images: {suspects}")
+    # Per-image pending handles: spawn replies still awaiting delivery
+    # acks, and blocked event_wait calls.
+    pending_spawns: dict[int, int] = {}
+    for pend in net._tx_pending.values():
+        if pend.msg.kind == "spawn":
+            pending_spawns[pend.msg.src] = pending_spawns.get(pend.msg.src, 0) + 1
+    event_waits: dict[int, int] = {}
+    for ev in machine._events.values():
+        for rank, cond in ev._conds.items():
+            if cond.waiting:
+                event_waits[rank] = event_waits.get(rank, 0) + cond.waiting
+    for rank in sorted(set(pending_spawns) | set(event_waits)):
+        lines.append(
+            f"  image {rank} pending handles: "
+            f"spawn_replies={pending_spawns.get(rank, 0)} "
+            f"event_waits={event_waits.get(rank, 0)}"
+        )
     for (rank, key), frame in sorted(machine._frames.items()):
         interesting = (frame.cond.waiting > 0
                        or not frame.even.locally_quiet()
@@ -302,12 +414,35 @@ def count_delivered(machine, world_rank: int, key: Optional[tuple],
 
 
 def count_received(machine, world_rank: int, key: Optional[tuple],
-                   tag: Optional[bool]) -> Optional[tuple]:
+                   tag: Optional[bool], src: Optional[int] = None
+                   ) -> Optional[tuple]:
     """Count a message arrival; returns the receiver stamp to pass to
-    :func:`count_completed` when its local work finishes."""
+    :func:`count_completed` when its local work finishes.  ``src`` is
+    the sending image, used for failure reconciliation."""
     if key is None:
         return None
-    return frame_at(machine, world_rank, key).on_received(bool(tag))
+    return frame_at(machine, world_rank, key).on_received(bool(tag), src)
+
+
+def count_send_failed(machine, world_rank: int, key: Optional[tuple],
+                      stamp: Optional[tuple]) -> None:
+    """Uncount a send whose delivery failed because the peer died."""
+    if key is not None and stamp is not None:
+        frame_at(machine, world_rank, key).on_send_failed(stamp)
+
+
+def count_delivery_outcome(machine, world_rank: int, key: Optional[tuple],
+                           stamp: Optional[tuple], fut) -> None:
+    """Done-callback body for a counted send's ``delivered`` future:
+    count it delivered on success, uncount the send if the transport
+    reported the peer failed."""
+    if key is None or stamp is None:
+        return
+    frame = frame_at(machine, world_rank, key)
+    if fut.exception() is None:
+        frame.on_delivered(stamp)
+    else:
+        frame.on_send_failed(stamp)
 
 
 def count_completed(machine, world_rank: int, key: Optional[tuple],

@@ -81,20 +81,36 @@ def _ensure_handlers(machine) -> None:
 
 
 def _make_exec_handler(machine):
-    def handle_exec(ctx, fn, args, key, tag, event_ref, name, rc_vc=None):
+    def handle_exec(ctx, fn, args, key, tag, event_ref, name, rc_vc=None,
+                    spawn_id=None):
         # Count reception before the function body runs: the message has
         # landed even if the task runs long (Fig. 7 separates received
         # from completed for exactly this reason).
-        recv_stamp = fin.count_received(machine, ctx.image, key, tag)
+        recv_stamp = fin.count_received(machine, ctx.image, key, tag,
+                                        src=ctx.src)
         frame = fin.frame_at(machine, ctx.image, key) if key is not None else None
+        # Recovery idempotency: when a failure service with recovery is
+        # attached, every execution is recorded under its spawn id and a
+        # duplicate arrival skips the body (but still balances the
+        # received/completed counters).
+        duplicate = False
+        registry = machine.scratch.get("spawn.executed_ids")
+        if registry is not None and spawn_id is not None:
+            done_ids = registry.setdefault(ctx.image, set())
+            if spawn_id in done_ids:
+                duplicate = True
+                machine.stats.incr("spawn.dedup_skipped")
+            else:
+                done_ids.add(spawn_id)
         activation = Activation(
             machine.image_state(ctx.image), finish_frame=frame, name=name)
         if machine.racecheck is not None:
             machine.racecheck.activation_begin(activation, rc_vc)
         image = machine.make_image(ctx.image, activation)
-        machine.stats.incr("spawn.executed")
         try:
-            yield from fn(image, *args)
+            if not duplicate:
+                machine.stats.incr("spawn.executed")
+                yield from fn(image, *args)
         finally:
             if machine.racecheck is not None:
                 # Publish the body's final clock before the completion
@@ -133,12 +149,39 @@ def spawn(ctx, fn, target: int, *args: Any,
     implicit = event is None
     frame = ctx.activation.current_frame() if implicit else None
     key = frame.key if frame is not None else None
-    stamp = fin.count_send(machine, ctx.rank, key, dst=dst)
 
     op = AsyncOp("spawn")
     name = f"{getattr(fn, '__name__', 'fn')}@{dst}"
     size = payload_size(args)
     shipped_args = tuple(_marshal(a) for a in args)
+    spawn_id = machine.next_spawn_id()
+
+    failure = machine.failure
+    if (implicit and frame is not None and failure is not None
+            and failure.recover and dst != ctx.rank
+            and (dst in failure.suspects or dst in machine.dead_images)):
+        # Fault-tolerant reroute: the destination is already known dead,
+        # so shipping would only fail after a detector round-trip.  Run
+        # the function on the spawner instead (same counting as a
+        # recovered ledger entry).
+        machine.stats.incr("spawn.rerouted")
+        _run_local(machine, ctx.rank, frame, fn, shipped_args, spawn_id,
+                   name)
+        op.initiated.set_result(None)
+        op.local_data.set_result(None)
+        op.local_op.set_result(None)
+        op.global_done.set_result(None)
+        if implicit:
+            ctx.activation.register(
+                op.make_pending(reads_local=True, writes_local=False,
+                                released=op.local_op,
+                                op_id=machine.next_op_id()))
+        return op
+
+    stamp = fin.count_send(machine, ctx.rank, key, dst=dst)
+    if (implicit and frame is not None and failure is not None
+            and failure.recover):
+        frame.ledger.append((spawn_id, dst, fn, shipped_args, name))
     machine.stats.incr("spawn.initiated")
     rc_vc = None
     if machine.racecheck is not None:
@@ -147,7 +190,7 @@ def spawn(ctx, fn, target: int, *args: Any,
     receipt = yield from machine.am.request(
         ctx.rank, dst, _EXEC,
         args=(fn, shipped_args, key, fin.wire_tag(stamp), event_ref, name,
-              rc_vc),
+              rc_vc, spawn_id),
         payload_size=size, category=AMCategory.MEDIUM,
         want_ack=True, kind="spawn",
     )
@@ -155,7 +198,8 @@ def spawn(ctx, fn, target: int, *args: Any,
     chain(receipt.injected, op.local_data)
     chain(receipt.delivered, op.local_op)
     receipt.delivered.add_done_callback(
-        lambda _f: fin.count_delivered(machine, ctx.rank, key, stamp))
+        lambda f: fin.count_delivery_outcome(machine, ctx.rank, key, stamp,
+                                             f))
     # The initiator cannot observe execution completion without an event;
     # global completion is finish's business.  local_op is the strongest
     # initiator-side guarantee the handle itself carries.
@@ -169,3 +213,50 @@ def spawn(ctx, fn, target: int, *args: Any,
         if machine.racecheck is not None:
             machine.racecheck.spawn_registered(ctx.activation, op)
     return op
+
+
+# --------------------------------------------------------------------- #
+# Fail-stop recovery: re-execute lost shipped functions
+# --------------------------------------------------------------------- #
+
+def _run_local(machine, rank: int, frame, fn, args: tuple,
+               spawn_id: int, name: str) -> None:
+    """Execute a (possibly recovered) spawn locally on ``rank`` inside
+    ``frame``, counting the full send/delivered/received/completed
+    quadruple as a loopback message so the enclosing finish waits for it
+    — including anything it spawns transitively.
+
+    Idempotency: the machine-global executed-id registry skips spawn ids
+    this image already ran, so a ledger entry can never run twice here.
+    (If the "dead" image was falsely suspected and in fact executed the
+    original, the work is duplicated — re-execution is exactly-once only
+    under fail-stop; see DESIGN §11.)"""
+    registry = machine.scratch.setdefault("spawn.executed_ids", {})
+    done_ids = registry.setdefault(rank, set())
+    if spawn_id in done_ids:
+        machine.stats.incr("spawn.dedup_skipped")
+        return
+    done_ids.add(spawn_id)
+    stamp = frame.on_send(dst=rank)
+    frame.on_delivered(stamp)
+    recv_stamp = frame.on_received(stamp[0], src=rank)
+
+    def body():
+        activation = Activation(
+            machine.image_state(rank), finish_frame=frame, name=name)
+        image = machine.make_image(rank, activation)
+        machine.stats.incr("spawn.executed")
+        try:
+            yield from fn(image, *args)
+        finally:
+            frame.on_completed(recv_stamp)
+
+    machine.start_internal_task(body(), name=f"respawn.{name}", owner=rank)
+
+
+def reexecute_lost(machine, rank: int, frame, entries: list) -> None:
+    """Recovery hook: re-run the ledger entries ``reconcile_failure``
+    popped for a dead destination, on the surviving spawner ``rank``."""
+    machine.stats.incr("spawn.recovered", len(entries))
+    for spawn_id, _dst, fn, args, name in entries:
+        _run_local(machine, rank, frame, fn, args, spawn_id, name)

@@ -3,6 +3,10 @@
 The paper's contribution (:mod:`repro.core.termination.epoch`) plus the
 baselines it is compared against:
 
+- :mod:`repro.core.termination.ft_epoch` — the fault-tolerant variant
+  of the paper's detector (DESIGN §11): coordinator rounds over the
+  alive membership instead of a team allreduce; ``epoch`` delegates to
+  it automatically when a failure detector is attached;
 - :mod:`repro.core.termination.wave_unbounded` — the same allreduce-wave
   scheme but *without* the Fig. 7 line-4 wait precondition; the Fig. 18
   baseline that needs roughly twice the reduction rounds;
@@ -24,6 +28,7 @@ every team member inside :func:`repro.core.finish.finish_end`.
 """
 
 from repro.core.termination.epoch import epoch_detector
+from repro.core.termination.ft_epoch import ft_epoch_detector
 from repro.core.termination.wave_unbounded import wave_unbounded_detector
 from repro.core.termination.wave_drain import wave_drain_detector
 from repro.core.termination.four_counter import four_counter_detector
@@ -32,6 +37,7 @@ from repro.core.termination.barrier_naive import barrier_naive_detector
 
 _DETECTORS = {
     "epoch": epoch_detector,
+    "ft_epoch": ft_epoch_detector,
     "wave_unbounded": wave_unbounded_detector,
     "wave_drain": wave_drain_detector,
     "four_counter": four_counter_detector,
@@ -54,6 +60,7 @@ def get_detector(name: str):
 __all__ = [
     "get_detector",
     "epoch_detector",
+    "ft_epoch_detector",
     "wave_unbounded_detector",
     "wave_drain_detector",
     "four_counter_detector",

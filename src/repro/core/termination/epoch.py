@@ -30,6 +30,14 @@ from repro.core.finish import FinishFrame
 def epoch_detector(ctx, frame: FinishFrame) -> Generator[Any, Any, int]:
     """Run the Fig. 7 algorithm for one image; returns allreduce waves."""
     machine = ctx.machine
+    if machine.failure is not None:
+        # With a failure detector attached the synchronous allreduce
+        # would deadlock on the first crash; swap in the fault-tolerant
+        # coordinator variant transparently.
+        from repro.core.termination.ft_epoch import ft_epoch_detector
+
+        rounds = yield from ft_epoch_detector(ctx, frame)
+        return rounds
     rounds = 0
     while True:
         # Line 4: wait until locally quiet in the even epoch.  Counter

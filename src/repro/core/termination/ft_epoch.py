@@ -1,0 +1,181 @@
+"""Fault-tolerant epoch termination detection (DESIGN §11).
+
+The paper's Fig. 7 algorithm closes each wave with a synchronous team
+allreduce — which deadlocks the moment a team member fail-stops, because
+the reduction tree waits for the dead image's contribution forever.
+This variant replaces the allreduce with a coordinator round that only
+ever waits on *currently alive* members:
+
+1. wait until locally quiet in the even epoch **or** a failure is known
+   (a suspicion reconciles the frame's counters and wakes the wait);
+2. with recovery off, a known failure raises a structured
+   :class:`~repro.runtime.failure.ImageFailureError` instead of wedging;
+3. otherwise report ``even.sent - even.completed`` to the round's
+   coordinator — the lowest-ranked alive member — stamped with the
+   membership generation the report was computed under;
+4. the coordinator collects reports from every alive member *of the same
+   generation*; a mid-round suspicion bumps the generation, making the
+   survivors restart the round against the new membership (and possibly
+   a new coordinator, if the old one died);
+5. the round's verdict (the summed outstanding count) is cached under
+   ``(frame key, round)`` and broadcast; termination is a zero verdict.
+
+The verdict cache and coordinator scratch state are machine-global —
+like the monotonic suspect set, they model a replicated membership/
+agreement service (ULFM-style) rather than an in-band consensus
+protocol, which keeps the round logic honest about *asynchrony* (all
+coordination travels as active messages) while idealizing *agreement*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.net.active_messages import AMCategory
+from repro.core.finish import FinishFrame
+
+_REPORT = "ft.report"
+_VERDICT = "ft.verdict"
+
+
+def _ensure_handlers(machine) -> None:
+    machine.am.ensure_registered(_REPORT, _make_report_handler(machine))
+    machine.am.ensure_registered(_VERDICT, _make_verdict_handler(machine))
+
+
+def _verdict_slot(key, r) -> tuple:
+    return ("ft.verdict", key, r)
+
+
+def _collect_slot(key, r) -> tuple:
+    return ("ft.collect", key, r)
+
+
+def _accept_report(machine, key, r, team_id, rank: int, outstanding: int,
+                   gen: int, coord: int) -> None:
+    """Coordinator side of one detection round (runs inline at the
+    current coordinator ``coord``; also called directly for its own
+    report)."""
+    service = machine.failure
+    verdict = machine.scratch.get(_verdict_slot(key, r))
+    if verdict is not None:
+        # Round already decided (the reporter restarted needlessly, or
+        # its report raced the broadcast): re-send the cached verdict.
+        _send_verdict(machine, key, r, rank, coord)
+        return
+    if gen != service.gen:
+        return  # stale report from before a membership change
+    state = machine.scratch.get(_collect_slot(key, r))
+    if state is None or state["gen"] != service.gen:
+        state = {"gen": service.gen, "reports": {}}
+        machine.scratch[_collect_slot(key, r)] = state
+    state["reports"][rank] = outstanding
+    team = machine.team_by_id(team_id)
+    alive = service.alive_members(team)
+    if not all(m in state["reports"] for m in alive):
+        return
+    total = sum(state["reports"][m] for m in alive)
+    machine.scratch[_verdict_slot(key, r)] = total
+    machine.scratch.pop(_collect_slot(key, r), None)
+    machine.stats.incr("ft.rounds_decided")
+    for member in alive:
+        _send_verdict(machine, key, r, member, coord)
+
+
+def _send_verdict(machine, key, r, member: int, src: int) -> None:
+    """Wake ``member``'s frame once the round's verdict is readable.
+    The verdict value travels through the (idealized) shared cache; the
+    AM is the asynchronous wake-up."""
+    if member == src:
+        machine.get_or_create_frame(member, key).cond.wake()
+        return
+    machine.am.request_nb(
+        src, member, _VERDICT, args=(key, r),
+        category=AMCategory.SHORT, kind="ft.verdict",
+    )
+
+
+def _make_report_handler(machine):
+    def handle_report(ctx, team_id, key, r, rank, outstanding, gen):
+        _accept_report(machine, key, r, team_id, rank, outstanding, gen,
+                       coord=ctx.image)
+    return handle_report
+
+
+def _make_verdict_handler(machine):
+    def handle_verdict(ctx, key, r):
+        machine.get_or_create_frame(ctx.image, key).cond.wake()
+    return handle_verdict
+
+
+def ft_epoch_detector(ctx, frame: FinishFrame) -> Generator[Any, Any, int]:
+    """Fault-tolerant Fig. 7: per-image detection loop; returns the
+    number of completed coordinator rounds this image participated in."""
+    machine = ctx.machine
+    service = machine.failure
+    if service is None:
+        raise RuntimeError(
+            "ft_epoch detector requires failure detection "
+            "(run_spmd(..., failure_detection=True))"
+        )
+    _ensure_handlers(machine)
+    from repro.runtime.failure import build_failure_error
+
+    key = frame.key
+    rounds = 0
+    r = 0
+    if service.recover:
+        # Recovery mode: a suspicion reconciles the counters (waking the
+        # condition), so plain local quiescence is the whole wait.
+        quiet_or_failed = frame.even.locally_quiet
+    else:
+        # Report-only mode: a known failure ends the wait — to raise.
+        def quiet_or_failed():
+            return (frame.even.locally_quiet()
+                    or service.has_failed(frame.team))
+    while True:
+        yield from frame.cond.wait_until(quiet_or_failed)
+        if not service.recover and service.has_failed(frame.team):
+            raise build_failure_error(
+                machine, dead=set(service.suspects),
+                reason=f"image failure detected inside finish{key}")
+        if not frame.even.locally_quiet():
+            continue
+        verdict = machine.scratch.get(_verdict_slot(key, r))
+        if verdict is None:
+            # Start (or restart) round r against the current membership.
+            if not frame.in_odd:
+                frame.advance_to_odd()
+            gen0 = service.gen
+            outstanding = frame.even.sent - frame.even.completed
+            alive = service.alive_members(frame.team)
+            coordinator = alive[0] if alive else ctx.rank
+            wave_start = machine.sim.now
+            if coordinator == ctx.rank:
+                _accept_report(machine, key, r, frame.team.id, ctx.rank,
+                               outstanding, gen0, coord=ctx.rank)
+            else:
+                machine.am.request_nb(
+                    ctx.rank, coordinator, _REPORT,
+                    args=(frame.team.id, key, r, ctx.rank, outstanding,
+                          gen0),
+                    category=AMCategory.SHORT, kind="ft.report",
+                )
+            yield from frame.cond.wait_until(
+                lambda: machine.scratch.get(_verdict_slot(key, r)) is not None
+                or service.gen != gen0)
+            verdict = machine.scratch.get(_verdict_slot(key, r))
+            if verdict is None:
+                continue  # membership changed mid-round: restart round r
+            if machine.tracer is not None:
+                machine.tracer.span(ctx.rank, "ft finish wave", wave_start,
+                                    machine.sim.now - wave_start,
+                                    args={"outstanding": outstanding,
+                                          "total": verdict, "round": r})
+        rounds += 1
+        frame.rounds += 1
+        frame.fold_to_even()
+        if verdict == 0:
+            return rounds
+        r += 1
+        machine.stats.incr("finish.extra_waves")

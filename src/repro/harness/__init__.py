@@ -18,6 +18,7 @@ from repro.harness.experiments import (
     ablation_tree_radix,
     ablation_steal_chunk,
     chaos_resilience,
+    crash_recovery,
     explore_search,
     races_audit,
 )
@@ -38,5 +39,6 @@ __all__ = [
     "ablation_tree_radix",
     "ablation_steal_chunk",
     "chaos_resilience",
+    "crash_recovery",
     "races_audit",
 ]

@@ -21,6 +21,7 @@ from repro.harness import (
     ablation_steal_chunk,
     ablation_tree_radix,
     chaos_resilience,
+    crash_recovery,
     explore_search,
     fig05_barrier_failure,
     fig12_cofence_micro,
@@ -75,6 +76,9 @@ EXPERIMENTS = {
         n_images=4 if quick else 8,
         tree=_QUICK_TREE if quick else None,
         updates_per_image=16 if quick else 64)),
+    "crash": (lambda quick: crash_recovery(
+        n_images=4,
+        tree=_QUICK_TREE if quick else None)),
     "explore": (lambda quick: explore_search(
         budget=150 if quick else 500,
         rounds=2 if quick else 4,

@@ -657,3 +657,93 @@ def races_audit(n_images: int = 4, tree: Optional[TreeParams] = None,
         if control.races:
             print("control finding:", control.races[0])
     return results
+
+
+# --------------------------------------------------------------------- #
+# Crash — fail-stop image failure, detection, and recovery (DESIGN §11)
+# --------------------------------------------------------------------- #
+
+def crash_recovery(n_images: int = 4,
+                   tree: Optional[TreeParams] = None,
+                   crash_image: int = 2,
+                   crash_time: float = 1e-5,
+                   seed: int = 42, quiet: bool = False) -> dict:
+    """UTS with a fail-stop crash injected mid initial-work-sharing.
+
+    Three runs: clean (the reference count), crash with recovery (must
+    reproduce the exact sequential tree size — the lost shipped
+    functions re-execute on their surviving spawners), and crash in
+    report-only mode (must raise a structured ImageFailureError naming
+    the dead image instead of hanging).
+    """
+    from repro.runtime.failure import FailureConfig, ImageFailureError
+
+    tree = tree if tree is not None else TreeParams(b0=4, max_depth=8,
+                                                    seed=19)
+    config = UTSConfig(tree=tree)
+    expected = sequential_tree_size(tree)
+
+    clean = run_uts(n_images, config, seed=seed)
+
+    recovered = run_uts(
+        n_images, config, seed=seed,
+        faults=FaultPlan().crash_at(crash_image, crash_time),
+        failure_detection=FailureConfig(recover=True))
+
+    report_error = None
+    try:
+        run_uts(n_images, config, seed=seed,
+                faults=FaultPlan().crash_at(crash_image, crash_time),
+                failure_detection=FailureConfig())
+    except ImageFailureError as exc:
+        report_error = exc
+
+    results = {
+        "expected_nodes": expected,
+        "clean_ok": clean.total_nodes == expected,
+        "recovered_ok": recovered.total_nodes == expected,
+        "recovered_nodes": recovered.total_nodes,
+        "failed_images": recovered.failed_images,
+        "recovered_spawns": recovered.recovered_spawns,
+        "recovered_time": recovered.sim_time,
+        "report_raised": report_error is not None,
+        "report_dead": tuple(report_error.dead) if report_error else (),
+        "report_detected_at": (report_error.detected_at
+                               if report_error else None),
+    }
+
+    if not quiet:
+        table = Table(
+            f"Crash — UTS with image {crash_image} fail-stopping at "
+            f"t={crash_time:g}s ({n_images} images)",
+            ["mode", "nodes", "correct", "dead", "re-executed", "time"],
+        )
+        table.add_row(["clean", clean.total_nodes,
+                       "yes" if results["clean_ok"] else "NO", "-", 0,
+                       format_seconds(clean.sim_time)])
+        table.add_row(["crash + recover", recovered.total_nodes,
+                       "yes" if results["recovered_ok"] else "NO",
+                       list(recovered.failed_images),
+                       recovered.recovered_spawns,
+                       format_seconds(recovered.sim_time)])
+        if report_error is not None:
+            table.add_row(["crash, report-only",
+                           "ImageFailureError",
+                           "yes", list(report_error.dead), 0,
+                           format_seconds(report_error.detected_at)])
+        else:
+            table.add_row(["crash, report-only", "NO ERROR RAISED", "NO",
+                           "-", 0, "-"])
+        table.print()
+
+    assert results["clean_ok"], (
+        f"clean UTS run lost nodes: {clean.total_nodes} != {expected}")
+    assert results["recovered_ok"], (
+        f"recovery missed the tree count: {recovered.total_nodes} != "
+        f"{expected} (dead={recovered.failed_images})")
+    assert results["report_raised"], (
+        "report-only crash run finished without ImageFailureError")
+    assert crash_image in results["report_dead"], (
+        f"ImageFailureError does not name image {crash_image}: "
+        f"{results['report_dead']}")
+    return results

@@ -111,12 +111,14 @@ class AMLayer:
                    payload_size: int = 0,
                    category: AMCategory = AMCategory.MEDIUM,
                    want_ack: bool = False,
-                   kind: Optional[str] = None) -> DeliveryReceipt:
+                   kind: Optional[str] = None,
+                   best_effort: bool = False) -> DeliveryReceipt:
         """Fire an active message without flow-control credits.
 
         Safe from any context (including inline handlers).  Returns the
         transport receipt; ``receipt.injected`` is source-buffer
-        local-data completion.
+        local-data completion.  ``best_effort`` bypasses the reliable
+        protocol (heartbeat traffic).
         """
         if handler not in self._handlers:
             raise KeyError(f"unknown AM handler {handler!r}")
@@ -127,7 +129,8 @@ class AMLayer:
             on_deliver=self._on_deliver,
         )
         self.network.stats.incr(f"am.{category.value}")
-        return self.network.send(msg, want_ack=want_ack)
+        return self.network.send(msg, want_ack=want_ack,
+                                 best_effort=best_effort)
 
     def request(self, src: int, dst: int, handler: str,
                 args: tuple = (), payload: Any = None,
@@ -163,7 +166,9 @@ class AMLayer:
         fn = self._handlers[handler_name]
         ctx = HandlerContext(self, msg.dst, msg.src, msg, payload)
         if inspect.isgeneratorfunction(fn):
+            # Handler tasks run on behalf of the destination image, so a
+            # fail-stop crash of that image halts them too.
             Task(self.sim, fn(ctx, *args),
-                 name=f"am.{handler_name}@{msg.dst}")
+                 name=f"am.{handler_name}@{msg.dst}", owner=msg.dst)
         else:
             fn(ctx, *args)

@@ -131,6 +131,10 @@ class FaultPlan:
         self._rng: Optional[np.random.Generator] = None
         self._scripted: set[tuple[str, int]] = set()
         self._kind_counts: dict[str, int] = defaultdict(int)
+        #: Fail-stop crash scripts: {image: time} and {image: send count}.
+        self.crashes: dict[int, float] = {}
+        self.crash_after_sends: dict[int, int] = {}
+        self._send_counts: dict[int, int] = defaultdict(int)
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -147,6 +151,44 @@ class FaultPlan:
             self._scripted.add((kind, int(i)))
         return self
 
+    def crash_at(self, image: int, time: float) -> "FaultPlan":
+        """Script a fail-stop crash of ``image`` at virtual ``time``.
+        Chainable; one crash per image (the earliest time wins)."""
+        if image < 0:
+            raise ValueError(f"negative image {image}")
+        time = float(time)
+        if time < 0:
+            raise ValueError(f"negative crash time {time!r}")
+        if image in self.crashes:
+            self.crashes[image] = min(self.crashes[image], time)
+        else:
+            self.crashes[image] = time
+        return self
+
+    def crash_after_n_sends(self, image: int, n: int) -> "FaultPlan":
+        """Script a fail-stop crash of ``image`` the instant it issues
+        its ``n``-th original send (1-based; retransmissions do not
+        count).  Chainable; the smallest ``n`` per image wins."""
+        if image < 0:
+            raise ValueError(f"negative image {image}")
+        if n < 1:
+            raise ValueError(f"send counts are 1-based, got {n}")
+        n = int(n)
+        if image in self.crash_after_sends:
+            self.crash_after_sends[image] = min(
+                self.crash_after_sends[image], n)
+        else:
+            self.crash_after_sends[image] = n
+        return self
+
+    def count_send(self, image: int) -> bool:
+        """Count one original send by ``image``; True if it just hit a
+        scripted ``crash_after_n_sends`` threshold."""
+        if image not in self.crash_after_sends:
+            return False
+        self._send_counts[image] += 1
+        return self._send_counts[image] == self.crash_after_sends[image]
+
     def clone(self) -> "FaultPlan":
         """A fresh plan with identical configuration and virgin per-run
         state (rng position, kind counts)."""
@@ -155,6 +197,8 @@ class FaultPlan:
                          link_drop=dict(self.link_drop), stalls=self.stalls,
                          seed=self.seed)
         plan._scripted = set(self._scripted)
+        plan.crashes = dict(self.crashes)
+        plan.crash_after_sends = dict(self.crash_after_sends)
         return plan
 
     def bind(self, rng: np.random.Generator) -> None:
@@ -178,6 +222,10 @@ class FaultPlan:
                           for (src, dst), p in sorted(self.link_drop.items())],
             "stalls": [[s.image, s.start, s.duration] for s in self.stalls],
             "scripted": sorted([kind, n] for kind, n in self._scripted),
+            "crashes": [[image, t] for image, t in sorted(self.crashes.items())],
+            "crash_after_sends": [
+                [image, n]
+                for image, n in sorted(self.crash_after_sends.items())],
             "seed": self.seed,
         }
 
@@ -198,6 +246,10 @@ class FaultPlan:
         )
         for kind, n in config.get("scripted", []):
             plan.drop_nth(kind, int(n))
+        for image, t in config.get("crashes", []):
+            plan.crash_at(int(image), float(t))
+        for image, n in config.get("crash_after_sends", []):
+            plan.crash_after_n_sends(int(image), int(n))
         return plan
 
     @property
@@ -212,7 +264,8 @@ class FaultPlan:
         """Whether the plan can fault anything at all."""
         return bool(self.drop or self.duplicate or self.reorder
                     or self.ack_drop or self.link_drop or self.stalls
-                    or self._scripted)
+                    or self._scripted or self.crashes
+                    or self.crash_after_sends)
 
     # ------------------------------------------------------------------ #
     # Decisions (one call per transmission / ack, in simulation order)
@@ -278,6 +331,11 @@ class FaultPlan:
             parts.append(f"stalls={len(self.stalls)}")
         if self._scripted:
             parts.append(f"scripted={sorted(self._scripted)}")
+        if self.crashes:
+            parts.append(f"crashes={sorted(self.crashes.items())}")
+        if self.crash_after_sends:
+            parts.append(
+                f"crash_after_sends={sorted(self.crash_after_sends.items())}")
         parts.append(f"seed={self.seed}")
         return f"FaultPlan({', '.join(parts)})"
 

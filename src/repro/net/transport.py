@@ -65,7 +65,43 @@ _FALLBACK_FAULT_SS = np.random.SeedSequence(0xFA117)
 
 class RetryExhaustedError(RuntimeError):
     """The reliable transport gave up on a message: every transmission
-    (original plus ``retry_cap`` retries) was lost."""
+    (original plus ``retry_cap`` retries) was lost.
+
+    Attributes
+    ----------
+    link:
+        The directed link ``(src, dst)`` that gave up.
+    lseq:
+        The message's per-link sequence number.
+    attempts:
+        Retransmissions performed before giving up (== ``retry_cap``).
+    link_stats:
+        Snapshot of per-link retransmit counts at failure time,
+        ``{(src, dst): count}`` — the surrounding context for "was this
+        link uniquely bad or is the whole fabric lossy?".
+    """
+
+    def __init__(self, message: str, link: tuple = (), lseq: int = -1,
+                 attempts: int = 0,
+                 link_stats: Optional[dict] = None):
+        super().__init__(message)
+        self.link = link
+        self.lseq = lseq
+        self.attempts = attempts
+        self.link_stats = dict(link_stats or {})
+
+
+class PeerFailedError(RuntimeError):
+    """A send (or a pending retransmission) was abandoned because the
+    destination image is crashed or suspected dead.  Carries the peer's
+    rank so callers can reconcile instead of blind-retrying."""
+
+    def __init__(self, message: str, peer: int = -1, suspected: bool = False):
+        super().__init__(message)
+        self.peer = peer
+        #: True when abandoned on suspicion (failure detector), False
+        #: when the transport observed the link down (confirmed crash).
+        self.suspected = suspected
 
 
 class Message:
@@ -209,6 +245,25 @@ class Network:
         #: short human-readable records of lost transmissions (bounded;
         #: the liveness watchdog quotes these in its diagnostic)
         self.lost: list[str] = []
+        #: per-directed-link retransmission counts (RetryExhaustedError
+        #: snapshots these; also a chaos diagnostic)
+        self.link_retransmits: dict[tuple, int] = {}
+        #: confirmed-crashed images: their inbound and outbound links are
+        #: down — in-flight deliveries to/from them are discarded and
+        #: pending retransmissions fail with :class:`PeerFailedError`
+        self._dead: set[int] = set()
+        #: suspected-dead images.  The failure detector shares its
+        #: monotonic suspect set here; retransmission to a suspect stops
+        #: at the next timer instead of spinning to the retry cap.
+        self.suspects: set[int] = set()
+        #: liveness piggyback hook: called as ``fn(src, dst)`` whenever a
+        #: delivery batch from ``src`` lands at ``dst`` — any delivered
+        #: traffic doubles as a heartbeat for the failure detector
+        self.on_delivery: Optional[Callable[[int, int], None]] = None
+        #: crash trigger hook: called as ``fn(image)`` (via call_soon, so
+        #: the triggering send completes first) when the fault plan's
+        #: ``crash_after_n_sends`` threshold is reached
+        self.on_crash: Optional[Callable[[int], None]] = None
         #: schedule-exploration hook (DESIGN.md §10): an object with
         #: ``choose(ChoicePoint) -> int`` plus ``lag_steps``/``lag_slack``
         #: attributes.  When installed, every remote transmission's extra
@@ -218,15 +273,38 @@ class Network:
 
     # ------------------------------------------------------------------ #
 
-    def send(self, msg: Message, want_ack: bool = False) -> DeliveryReceipt:
+    def send(self, msg: Message, want_ack: bool = False,
+             best_effort: bool = False) -> DeliveryReceipt:
         """Enqueue ``msg`` for injection at its source NIC.
 
         Non-blocking: backpressure, if any, is the flow-control layer's
         job.  Returns a :class:`DeliveryReceipt`.
+
+        ``best_effort`` bypasses the reliable protocol even when
+        ``MachineParams.reliable`` is set: no link seq, no retransmit
+        timer, no dedup state — the message is fire-and-forget (failure
+        detector heartbeats use this; a reliable heartbeat to a dead
+        peer would retransmit forever).
         """
         p = self.params
         msg.seq = next(self._msg_seq)
         receipt = DeliveryReceipt(msg, want_ack)
+
+        if msg.src != msg.dst and (msg.dst in self._dead
+                                   or msg.dst in self.suspects):
+            # Fail fast: the destination is crashed or suspected dead.
+            # The receipt surfaces a typed error instead of the protocol
+            # spinning to the retry cap against a downed link.
+            self.stats.incr("net.msgs")
+            self.stats.incr("net.peer_failed")
+            if receipt.delivered is not None:
+                receipt.delivered.set_exception(PeerFailedError(
+                    f"send of {msg!r} abandoned: image {msg.dst} is "
+                    + ("suspected dead" if msg.dst not in self._dead
+                       else "crashed"),
+                    peer=msg.dst, suspected=msg.dst not in self._dead))
+            self.sim.call_soon(receipt.injected.set_result, None)
+            return receipt
 
         inject_end = self._inject(msg)
 
@@ -236,9 +314,13 @@ class Network:
 
         self.sim.schedule_at(inject_end, receipt.injected.set_result, None)
 
-        scripted = (self.faults.take_scripted_drop(msg.kind)
-                    if self.faults is not None else False)
-        if p.reliable:
+        f = self.faults
+        scripted = (f.take_scripted_drop(msg.kind) if f is not None else False)
+        if f is not None and f.count_send(msg.src) and self.on_crash is not None:
+            # The send that crosses the crash_after_n_sends threshold is
+            # the image's last act: it completes, then the crash fires.
+            self.sim.call_soon(self.on_crash, msg.src)
+        if p.reliable and not best_effort:
             link = (msg.src, msg.dst)
             lseq = self._tx_next.get(link, 0)
             self._tx_next[link] = lseq + 1
@@ -319,8 +401,36 @@ class Network:
 
     def _run_delivery_batch(self, key: tuple, batch: list) -> None:
         del self._arrivals[key]
+        if self._dead and (key[0] in self._dead or key[1] in self._dead):
+            # The link went down while these copies were in flight:
+            # a dead source's packets are discarded, a dead destination
+            # processes nothing.
+            self.stats.incr("net.dead_link_discards", len(batch))
+            if key[1] in self._dead and key[0] not in self._dead:
+                # A live sender's receipts must fail, not dangle: the
+                # unreliable path has no retransmit timer that would
+                # otherwise notice the downed link.
+                for fn, args in batch:
+                    self._fail_discarded(fn, args, key[1])
+            return
+        if self.on_delivery is not None:
+            self.on_delivery(key[0], key[1])
         for fn, args in batch:
             fn(*args)
+
+    def _fail_discarded(self, fn: Callable, args: tuple, peer: int) -> None:
+        """Surface PeerFailedError for one discarded delivery-batch entry
+        whose destination crashed in flight.  Reliable sends are skipped:
+        their retransmit timer reaches the same verdict on its own."""
+        if fn != self._deliver:
+            return
+        receipt = args[1]
+        if receipt.delivered is not None and not receipt.delivered.done:
+            self.stats.incr("net.peer_failed")
+            receipt.delivered.set_exception(PeerFailedError(
+                f"delivery of {receipt.message!r} discarded: image "
+                f"{peer} crashed with the message in flight",
+                peer=peer, suspected=False))
 
     def _record_drop(self, msg: Message, t: float) -> None:
         self.stats.incr("net.drops")
@@ -430,19 +540,39 @@ class Network:
     def _retransmit(self, pend: _PendingSend) -> None:
         if pend.acked:
             return
+        msg = pend.msg
+        if msg.src in self._dead:
+            # The sender crashed between timer arm and fire: its pending
+            # protocol state dies with it.
+            self._tx_pending.pop((pend.link, pend.lseq), None)
+            return
+        if msg.dst in self._dead or msg.dst in self.suspects:
+            # Stop retrying into a downed (or suspected-down) link and
+            # surface a typed failure instead of spinning to the cap.
+            self._fail_pending(pend, PeerFailedError(
+                f"retransmission of {msg!r} abandoned after "
+                f"{pend.attempt} attempts: image {msg.dst} is "
+                + ("suspected dead" if msg.dst not in self._dead
+                   else "crashed"),
+                peer=msg.dst, suspected=msg.dst not in self._dead))
+            return
         pend.attempt += 1
         p = self.params
         if pend.attempt > p.retry_cap:
-            msg = pend.msg
+            self._tx_pending.pop((pend.link, pend.lseq), None)
             raise RetryExhaustedError(
                 f"reliable transport gave up on {msg!r} after "
                 f"{p.retry_cap} retransmissions (link {pend.link}, link "
                 f"seq {pend.lseq}, t={self.sim.now:.6f}s): every copy "
                 "was lost — raise MachineParams.retry_cap or lower the "
-                "FaultPlan drop rate"
+                "FaultPlan drop rate",
+                link=pend.link, lseq=pend.lseq, attempts=p.retry_cap,
+                link_stats=self.link_retransmits,
             )
         self.stats.incr("net.retransmits")
         self.stats.incr(f"net.retransmits.{pend.msg.kind}")
+        self.link_retransmits[pend.link] = (
+            self.link_retransmits.get(pend.link, 0) + 1)
         if self.tracer is not None:
             self.tracer.instant(pend.msg.src,
                                 f"rexmit {pend.msg.kind}", self.sim.now,
@@ -470,9 +600,46 @@ class Network:
         ack_delay = self.params.ack_latency_factor * lat
         self.sim.schedule(ack_delay, self._on_ack, pend)
 
+    def _fail_pending(self, pend: _PendingSend, exc: BaseException) -> None:
+        """Abandon a reliably-sent message: pop protocol state, stop the
+        timer, and surface ``exc`` through the receipt (if anyone is
+        watching)."""
+        self._tx_pending.pop((pend.link, pend.lseq), None)
+        if pend.timer is not None:
+            self.sim.cancel(pend.timer)
+            pend.timer = None
+        self.stats.incr("net.peer_failed")
+        if (pend.receipt.delivered is not None
+                and not pend.receipt.delivered.done):
+            pend.receipt.delivered.set_exception(exc)
+
+    def mark_dead(self, image: int) -> None:
+        """Take ``image``'s links down (the network half of a fail-stop
+        crash): in-flight deliveries to/from it are discarded when they
+        surface, its outbound protocol state is dropped, and future
+        sends/retransmissions toward it fail with
+        :class:`PeerFailedError`."""
+        if image in self._dead:
+            return
+        self._dead.add(image)
+        self.stats.incr("net.images_dead")
+        # The dead image's own unacked sends die with it (cancel the
+        # timers now; delivery batches already in flight are discarded by
+        # _run_delivery_batch).  Sends *to* it are left to fail at their
+        # next retransmission timer — the moment the transport would
+        # have touched the downed link.
+        for key, pend in list(self._tx_pending.items()):
+            if pend.msg.src == image:
+                if pend.timer is not None:
+                    self.sim.cancel(pend.timer)
+                    pend.timer = None
+                del self._tx_pending[key]
+
     def _on_ack(self, pend: _PendingSend) -> None:
         if pend.acked:
             return  # a re-ack of a suppressed duplicate
+        if pend.msg.dst in self._dead:
+            return  # the acking image crashed while the ack was in flight
         pend.acked = True
         self._tx_pending.pop((pend.link, pend.lseq), None)
         if pend.timer is not None:

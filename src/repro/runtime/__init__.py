@@ -13,10 +13,18 @@ from repro.runtime.memory_model import (
     WRITE,
     ANY,
 )
+from repro.runtime.failure import (
+    FailureConfig,
+    FailureService,
+    ImageFailureError,
+)
 from repro.runtime.image import Image, ImageState
 from repro.runtime.program import DeadlockError, Machine, run_spmd
 
 __all__ = [
+    "FailureConfig",
+    "FailureService",
+    "ImageFailureError",
     "Team",
     "Coarray",
     "CoarrayRef",

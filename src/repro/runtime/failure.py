@@ -1,0 +1,270 @@
+"""Fail-stop image failures: detection and structured reporting.
+
+The failure model (DESIGN §11) is *fail-stop*: a crashed image halts
+instantly, loses its memory, and never sends another byte.  Survivors
+learn about the crash through a heartbeat failure detector, not through
+simulator omniscience — the simulator kills the image's tasks and drops
+its links, but the *runtime* only acts once the detector publishes a
+suspicion.
+
+Detection
+---------
+Every image runs a detector task that, each ``period`` seconds, (a)
+sends a best-effort SHORT heartbeat AM to every peer it does not
+suspect, and (b) times out peers it has not heard from within
+``timeout``.  *Any* delivery refreshes the observer's last-heard clock
+(heartbeats piggyback on regular traffic via the transport's delivery
+hook), so a chatty link never pays heartbeat overhead for detection.
+
+The suspect set is a single monotonic set shared by all images and the
+transport.  That is a deliberate idealization: it models a replicated
+membership/agreement service (in the spirit of ULFM's agreement
+primitive) that the paper's runtime would consult; implementing the
+agreement protocol itself is out of scope.  Under fail-stop with
+bounded simulated message delays and ``timeout >> period`` the detector
+is accurate — it only suspects images that actually crashed — unless a
+FaultPlan drops enough consecutive heartbeats to starve a link for a
+full timeout.
+
+On suspicion the service reconciles every surviving finish frame
+(:meth:`repro.core.finish.FinishFrame.reconcile_failure`) and, when
+``recover=True``, hands the popped spawn-ledger entries to
+:func:`repro.core.spawn.reexecute_lost` so lost shipped functions rerun
+on their surviving spawners.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.active_messages import AMCategory
+from repro.sim.tasks import Delay, Task
+
+
+class ImageFailureError(RuntimeError):
+    """One or more images failed inside a finish that cannot (or was not
+    asked to) recover.
+
+    Attributes
+    ----------
+    dead : tuple[int, ...]
+        The failed world ranks, as known when the error was built.
+    epochs : dict
+        Snapshot of the non-quiet finish frames' counters at detection
+        time (``(rank, key) -> FinishFrame.snapshot()``).
+    orphans : dict[int, int]
+        Per-dead-image count of counted sends whose shipped work was
+        orphaned by the crash.
+    detected_at : float
+        Simulated time at which the failure surfaced.
+    """
+
+    def __init__(self, message: str, dead: tuple = (), epochs=None,
+                 orphans=None, detected_at: float = 0.0):
+        super().__init__(message)
+        self.dead = tuple(dead)
+        self.epochs = dict(epochs or {})
+        self.orphans = dict(orphans or {})
+        self.detected_at = detected_at
+
+
+def build_failure_error(machine, dead=None, reason: str = "image failure"
+                        ) -> ImageFailureError:
+    """Assemble a structured :class:`ImageFailureError` from the
+    machine's current state (works with or without a failure service)."""
+    service = machine.failure
+    if dead is None:
+        dead = set(machine.dead_images)
+        if service is not None:
+            dead |= service.suspects
+    dead = tuple(sorted(dead))
+    epochs = {}
+    for (rank, key), frame in sorted(machine._frames.items()):
+        if (not frame.even.locally_quiet() or not frame.odd.locally_quiet()
+                or frame.cond.waiting):
+            epochs[(rank, key)] = frame.snapshot()
+    if service is not None and service.orphans:
+        orphans = dict(service.orphans)
+    else:
+        orphans = {}
+        for d in dead:
+            n = sum(frame.sent_to.get(d, 0)
+                    for (rank, _k), frame in machine._frames.items()
+                    if rank not in dead)
+            if n:
+                orphans[d] = n
+    msg = (f"{reason}: image(s) {list(dead)} failed at "
+           f"t={machine.sim.now:.6f}s; "
+           f"orphaned sends {orphans if orphans else '{}'} "
+           f"({len(epochs)} finish frame(s) not quiet)")
+    return ImageFailureError(msg, dead=dead, epochs=epochs, orphans=orphans,
+                             detected_at=machine.sim.now)
+
+
+class FailureConfig:
+    """Tuning for the heartbeat failure detector.
+
+    ``period``   — heartbeat interval per image (seconds).
+    ``timeout``  — silence threshold for suspicion; default 10 periods.
+    ``recover``  — re-execute lost shipped functions on survivors
+                   instead of raising :class:`ImageFailureError`.
+    """
+
+    __slots__ = ("period", "timeout", "recover")
+
+    def __init__(self, period: float = 5e-5,
+                 timeout: Optional[float] = None,
+                 recover: bool = False):
+        if period <= 0:
+            raise ValueError(f"heartbeat period must be positive, got {period}")
+        if timeout is None:
+            timeout = 10.0 * period
+        if timeout <= period:
+            raise ValueError(
+                f"timeout ({timeout}) must exceed the heartbeat period "
+                f"({period}) or every image is suspected instantly"
+            )
+        self.period = period
+        self.timeout = timeout
+        self.recover = recover
+
+    def __repr__(self) -> str:
+        return (f"FailureConfig(period={self.period}, timeout={self.timeout}, "
+                f"recover={self.recover})")
+
+
+_HB = "fail.hb"
+
+
+class FailureService:
+    """Per-machine failure detection (one detector task per image)."""
+
+    def __init__(self, machine, config: FailureConfig):
+        self.machine = machine
+        self.config = config
+        self.recover = config.recover
+        n = machine.n_images
+        self.n_images = n
+        # Shared with the transport: sends to suspects fail fast.
+        self.suspects: set[int] = machine.network.suspects
+        #: membership generation; bumped on every new suspicion so
+        #: detector waves snapshotting it can notice a mid-wave change
+        self.gen = 0
+        #: per-dead-image counted-send orphan totals (filled at reconcile)
+        self.orphans: dict[int, int] = {}
+        # last_heard[observer][peer] = sim time of last delivery
+        self._last_heard = [[0.0] * n for _ in range(n)]
+        self._tasks: list[Task] = []
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        machine = self.machine
+        if self.recover:
+            # Activate the spawn idempotency registry so every execution
+            # is recorded (see repro.core.spawn).
+            machine.scratch.setdefault("spawn.executed_ids", {})
+        now = machine.sim.now
+        for row in self._last_heard:
+            for i in range(self.n_images):
+                row[i] = now
+        machine.network.on_delivery = self._on_delivery
+        machine.am.ensure_registered(_HB, _heartbeat_handler)
+        for rank in range(self.n_images):
+            task = Task(machine.sim, self._detector(rank),
+                        name=f"fail.detect@{rank}", owner=rank)
+            self._tasks.append(task)
+        machine.stats.incr("fail.detectors", self.n_images)
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        for task in self._tasks:
+            task.kill()
+
+    def check_stop(self) -> None:
+        """Stop heartbeating once every main program is finished or
+        belongs to a dead/suspected image; otherwise the periodic timers
+        would keep the event queue alive forever."""
+        if self._stopped:
+            return
+        machine = self.machine
+        for task in machine._main_tasks:
+            if task.done_future.done:
+                continue
+            owner = task.owner
+            if owner is not None and (owner in machine.dead_images
+                                      or owner in self.suspects):
+                continue
+            return
+        self.stop()
+
+    def notify_death(self, rank: int) -> None:
+        """The simulator killed ``rank`` (ground truth, *not* published
+        to survivors — suspicion still takes a detector timeout)."""
+        self.check_stop()
+
+    # ------------------------------------------------------------------ #
+    # Detection
+    # ------------------------------------------------------------------ #
+
+    def _on_delivery(self, src: int, dst: int) -> None:
+        self._last_heard[dst][src] = self.machine.sim.now
+
+    def _detector(self, rank: int):
+        machine = self.machine
+        sim = machine.sim
+        period = self.config.period
+        timeout = self.config.timeout
+        heard = self._last_heard[rank]
+        while True:
+            yield Delay(period)
+            now = sim.now
+            for peer in range(self.n_images):
+                if peer == rank or peer in self.suspects:
+                    continue
+                if now - heard[peer] > timeout:
+                    self.publish(peer)
+            for peer in range(self.n_images):
+                if peer == rank or peer in self.suspects:
+                    continue
+                machine.am.request_nb(
+                    rank, peer, _HB, category=AMCategory.SHORT,
+                    best_effort=True, kind="fail.hb",
+                )
+            machine.stats.incr("fail.hb_rounds")
+
+    def publish(self, peer: int) -> None:
+        """Record ``peer`` in the (shared, monotonic) suspect set and
+        reconcile the survivors' finish frames."""
+        if peer in self.suspects:
+            return
+        self.suspects.add(peer)
+        self.gen += 1
+        machine = self.machine
+        machine.stats.incr("fail.suspected")
+        if machine.tracer is not None:
+            machine.tracer.instant(peer, "fail.suspected", machine.sim.now,
+                                   args={"gen": self.gen})
+        machine._on_suspect(peer)
+        self.check_stop()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def alive_members(self, team) -> list[int]:
+        """Team members not currently suspected, in world-rank order."""
+        return [r for r in sorted(team) if r not in self.suspects]
+
+    def has_failed(self, team) -> bool:
+        return any(r in self.suspects for r in team)
+
+
+def _heartbeat_handler(ctx) -> None:
+    """Inline no-op: the delivery itself refreshed the last-heard clock
+    through the transport's on_delivery hook."""

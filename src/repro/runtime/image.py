@@ -100,6 +100,32 @@ class Image:
         return (team or self.team_world).rank_of(self.rank)
 
     # ------------------------------------------------------------------ #
+    # Failure introspection (DESIGN §11)
+    # ------------------------------------------------------------------ #
+
+    def failed_images(self, team: Optional[Team] = None) -> list[int]:
+        """World ranks of ``team`` members this image's runtime suspects
+        have fail-stopped (empty without a failure detector — survivors
+        have no way to know)."""
+        failure = self.machine.failure
+        if failure is None:
+            return []
+        team = team if team is not None else self.team_world
+        return [r for r in sorted(team) if r in failure.suspects]
+
+    def image_failed(self, world_rank: int) -> bool:
+        """Is ``world_rank`` currently suspected dead by the failure
+        detector?"""
+        failure = self.machine.failure
+        return failure is not None and world_rank in failure.suspects
+
+    def alive_images(self, team: Optional[Team] = None) -> list[int]:
+        """Team members not suspected dead, in world-rank order."""
+        team = team if team is not None else self.team_world
+        failure = self.machine.failure
+        return team.alive_members(failure.suspects if failure else ())
+
+    # ------------------------------------------------------------------ #
     # Computation
     # ------------------------------------------------------------------ #
 

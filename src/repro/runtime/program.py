@@ -55,7 +55,8 @@ class Machine:
     def __init__(self, n_images: int, params: Optional[MachineParams] = None,
                  seed: int = 0, tracer=None,
                  faults: Optional[FaultPlan] = None,
-                 racecheck: bool = False, schedule=None):
+                 racecheck: bool = False, schedule=None,
+                 failure_detection=None):
         if params is None:
             params = MachineParams.uniform(n_images)
         if params.n_images != n_images:
@@ -107,6 +108,26 @@ class Machine:
         self.gasnet = Gasnet(self.am)
         self.busy = IntervalAccumulator(n_images)
 
+        #: world ranks killed by fail-stop crash injection (ground truth;
+        #: survivors only learn of a death through the failure detector)
+        self.dead_images: set[int] = set()
+        #: heartbeat failure detector, or None (crashes then wedge the
+        #: machine and surface through the liveness watchdog instead)
+        self.failure = None
+        if failure_detection:
+            from repro.runtime.failure import FailureConfig, FailureService
+
+            config = (failure_detection
+                      if isinstance(failure_detection, FailureConfig)
+                      else FailureConfig())
+            self.failure = FailureService(self, config)
+        self._failure_started = False
+        # Crash scripts: scheduled kills and send-count triggers.
+        self.network.on_crash = self.kill_image
+        if faults is not None:
+            for image, t_crash in sorted(faults.crashes.items()):
+                self.sim.schedule_at(t_crash, self.kill_image, image)
+
         # Team ids are allocated per machine (not from Team's process-wide
         # fallback counter) so back-to-back runs in one process produce
         # identical ids in finish-frame keys, AM payloads and traces.
@@ -127,6 +148,10 @@ class Machine:
         self.scratch: dict = {}
         self._tokens = itertools.count(1)
         self._op_ids = itertools.count()
+        # Spawn identity stream for recovery idempotency keys; separate
+        # from _op_ids so enabling the ledger never shifts op ids (which
+        # appear in traces and race reports).
+        self._spawn_ids = itertools.count()
         self._main_tasks: list[Task] = []
 
         #: happens-before race detector, or None (the default — every
@@ -217,6 +242,55 @@ class Machine:
         the process built earlier)."""
         return next(self._op_ids)
 
+    def next_spawn_id(self) -> int:
+        """Machine-global spawn identity, used as the idempotency key
+        when recovery re-executes lost shipped functions."""
+        return next(self._spawn_ids)
+
+    # ------------------------------------------------------------------ #
+    # Fail-stop crashes
+    # ------------------------------------------------------------------ #
+
+    def kill_image(self, rank: int) -> None:
+        """Fail-stop crash of ``rank`` *now*: halt every task running on
+        it (main program, shipped functions, AM handlers, detector),
+        drop its in-flight messages and mark its links down.  Idempotent.
+        Survivors are NOT told — discovering the death is the failure
+        detector's job (or the liveness watchdog's, if detection is
+        off)."""
+        if rank in self.dead_images:
+            return
+        if not 0 <= rank < self.n_images:
+            raise ValueError(f"cannot crash image {rank}: not in "
+                             f"[0, {self.n_images})")
+        self.dead_images.add(rank)
+        killed = self.sim.kill_owner(rank)
+        self.network.mark_dead(rank)
+        self.stats.incr("fail.crashes")
+        if self.tracer is not None:
+            self.tracer.instant(rank, "fail.crash", self.sim.now,
+                                args={"tasks_killed": killed})
+        if self.failure is not None:
+            self.failure.notify_death(rank)
+
+    def _on_suspect(self, peer: int) -> None:
+        """Failure-service callback: a new suspect was published.
+        Reconcile every surviving image's finish frames and, with
+        recovery enabled, re-execute the lost spawns from their
+        surviving senders' ledgers."""
+        service = self.failure
+        for (rank, _key), frame in sorted(self._frames.items()):
+            if (rank in self.dead_images or rank in service.suspects):
+                continue
+            entries = frame.reconcile_failure(peer)
+            if entries:
+                service.orphans[peer] = (service.orphans.get(peer, 0)
+                                         + len(entries))
+                if service.recover:
+                    from repro.core.spawn import reexecute_lost
+
+                    reexecute_lost(self, rank, frame, entries)
+
     # ------------------------------------------------------------------ #
     # Services for the core operation modules
     # ------------------------------------------------------------------ #
@@ -295,9 +369,11 @@ class Machine:
     def make_image(self, world_rank: int, activation: Activation) -> Image:
         return Image(self, world_rank, activation)
 
-    def start_internal_task(self, gen, name: str = "internal") -> Task:
-        """Run a runtime-internal generator as a simulation task."""
-        return Task(self.sim, gen, name=name)
+    def start_internal_task(self, gen, name: str = "internal",
+                            owner: Optional[int] = None) -> Task:
+        """Run a runtime-internal generator as a simulation task.
+        ``owner`` ties it to an image so a fail-stop crash halts it."""
+        return Task(self.sim, gen, name=name, owner=owner)
 
     def summary(self) -> dict:
         """A run report: simulated time, traffic, busy-time balance and
@@ -335,8 +411,15 @@ class Machine:
             activation = Activation(self._image_states[rank], name="main")
             img = Image(self, rank, activation)
             tasks.append(Task(self.sim, kernel(img, *args),
-                              name=f"main@{rank}"))
+                              name=f"main@{rank}", owner=rank))
         self._main_tasks.extend(tasks)
+        if self.failure is not None:
+            if not self._failure_started:
+                self._failure_started = True
+                self.failure.start()
+            for t in tasks:
+                t.done_future.add_done_callback(
+                    lambda _f: self.failure.check_stop())
         return tasks
 
     def _liveness_check(self, sim: Simulator) -> None:
@@ -352,17 +435,37 @@ class Machine:
         image keeps surfacing its own exception as the root cause."""
         if not self._main_tasks:
             return
-        blocked = [t.name for t in self._main_tasks if not t.done_future.done]
+        blocked = [t.name for t in self._main_tasks
+                   if not t.done_future.done
+                   and (t.owner is None or t.owner not in self.dead_images)]
         if not blocked:
             return
         for t in self._main_tasks:
             if t.done_future.done and t.done_future.exception():
                 return
+        if self.dead_images:
+            # Crashed image wedged its survivors (no failure detector, or
+            # recovery off): surface a structured failure, not a hang.
+            from repro.runtime.failure import build_failure_error
+
+            raise build_failure_error(
+                self, reason="image crash wedged surviving images")
         if self.stats["net.drops"] == 0 and self.stats["net.ack_drops"] == 0:
             return
         from repro.core.finish import stall_report
 
         raise LivenessError(stall_report(self, blocked))
+
+    @staticmethod
+    def _unwrap(exc: BaseException) -> BaseException:
+        """Failures of an image's main program arrive wrapped in
+        TaskFailed; surface a structured ImageFailureError directly so
+        callers can catch the typed error."""
+        from repro.runtime.failure import ImageFailureError
+
+        if isinstance(exc.__cause__, ImageFailureError):
+            return exc.__cause__
+        return exc
 
     def run(self, max_events: Optional[int] = None) -> list[Any]:
         """Run the simulation to completion and return the main-program
@@ -371,18 +474,27 @@ class Machine:
         watchdog's :class:`~repro.sim.engine.LivenessError` propagate
         when injected faults stalled the workload."""
         self.sim.run(max_events=max_events)
-        blocked = [t.name for t in self._main_tasks if not t.done_future.done]
+        dead = self.dead_images
+        blocked = [t.name for t in self._main_tasks
+                   if not t.done_future.done
+                   and (t.owner is None or t.owner not in dead)]
         if blocked:
             # A failed image often wedges its peers (they wait for its
             # collectives); surface the root cause, not the symptom.
             for t in self._main_tasks:
                 if t.done_future.done and t.done_future.exception():
-                    raise t.done_future.exception()
+                    raise self._unwrap(t.done_future.exception())
             raise DeadlockError(
                 f"simulation drained with blocked main programs: {blocked} "
                 f"(t={self.sim.now:.6f}s)"
             )
-        return [t.done_future.result() for t in self._main_tasks]
+        for t in self._main_tasks:
+            if t.done_future.done and t.done_future.exception():
+                raise self._unwrap(t.done_future.exception())
+        # A main that completed before its image crashed still has a
+        # result; only mains the crash interrupted report None.
+        return [t.done_future.result() if t.done_future.done else None
+                for t in self._main_tasks]
 
 
 def run_spmd(kernel: Callable, n_images: int,
@@ -390,8 +502,8 @@ def run_spmd(kernel: Callable, n_images: int,
              args: tuple = (), max_events: Optional[int] = None,
              setup: Optional[Callable[[Machine], None]] = None,
              faults: Optional[FaultPlan] = None,
-             racecheck: bool = False, schedule=None
-             ) -> tuple[Machine, list[Any]]:
+             racecheck: bool = False, schedule=None,
+             failure_detection=None) -> tuple[Machine, list[Any]]:
     """Build a machine, run ``kernel`` SPMD on every image, return
     ``(machine, per-rank results)``.
 
@@ -403,9 +515,15 @@ def run_spmd(kernel: Callable, n_images: int,
     ``schedule`` installs a :class:`~repro.explore.schedule.Schedule`
     (replay) or :class:`~repro.explore.schedule.ScheduleSource`
     (exploration) that drives scheduling tie-breaks and delivery lags.
+    ``failure_detection`` enables the heartbeat failure detector: pass
+    ``True`` for defaults or a
+    :class:`~repro.runtime.failure.FailureConfig` (with
+    ``recover=True`` lost shipped functions re-execute on survivors).
+    Dead images report ``None`` in the results list.
     """
     machine = Machine(n_images, params=params, seed=seed, faults=faults,
-                      racecheck=racecheck, schedule=schedule)
+                      racecheck=racecheck, schedule=schedule,
+                      failure_detection=failure_detection)
     if setup is not None:
         setup(machine)
     machine.launch(kernel, args=args)

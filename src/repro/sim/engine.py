@@ -162,7 +162,8 @@ class Simulator:
 
     __slots__ = ("_now", "_heap", "_ready", "_single", "_seq", "_stale",
                  "_events_processed", "_running", "_drain_hooks",
-                 "_task_seq", "_busy", "_schedule_source", "_batch")
+                 "_task_seq", "_busy", "_schedule_source", "_batch",
+                 "_tasks")
 
     def __init__(self) -> None:
         self._now: float = 0.0
@@ -180,6 +181,11 @@ class Simulator:
         #: same-instant candidate batch of the controlled loop; always
         #: empty outside a controlled run
         self._batch: list[Event] = []
+        #: Owned tasks (tasks.py registers tasks created with owner=...)
+        #: so fail-stop crash injection can halt everything an image was
+        #: running.  Ownerless tasks never appear here, keeping the
+        #: common case free of registry cost.
+        self._tasks: list = []
         #: True whenever the heap or the ready deque holds entries —
         #: conservatively sticky (may stay True after they drain mid-run,
         #: re-cleared at the next natural drain).  Lets the staging check
@@ -217,6 +223,28 @@ class Simulator:
         runs in one process name their tasks identically."""
         self._task_seq += 1
         return self._task_seq
+
+    def _register_task(self, task) -> None:
+        """Record an owner-bearing task for :meth:`kill_owner`."""
+        self._tasks.append(task)
+
+    def kill_owner(self, owner: int) -> int:
+        """Fail-stop every live task registered under ``owner`` (see
+        ``Task.kill``): the crash half of the fail-stop model.  Done and
+        already-killed tasks are pruned from the registry as a side
+        effect.  Returns the number of tasks killed."""
+        killed = 0
+        keep = []
+        for task in self._tasks:
+            if task._killed or task.done_future.done:
+                continue
+            if task.owner == owner:
+                task.kill()
+                killed += 1
+            else:
+                keep.append(task)
+        self._tasks = keep
+        return killed
 
     # ------------------------------------------------------------------ #
     # Scheduling

@@ -196,10 +196,11 @@ class Task:
     task ids are part of trace output and must be reproducible.
     """
 
-    __slots__ = ("tid", "sim", "gen", "name", "done_future",
-                 "_rvalue", "_rexc", "_resume_cb")
+    __slots__ = ("tid", "sim", "gen", "name", "done_future", "owner",
+                 "_killed", "_rvalue", "_rexc", "_resume_cb")
 
-    def __init__(self, sim: Simulator, gen: Generator, name: str = ""):
+    def __init__(self, sim: Simulator, gen: Generator, name: str = "",
+                 owner: Optional[int] = None):
         if not hasattr(gen, "send"):
             raise TypeError(
                 f"Task expects a generator; got {type(gen).__name__}. "
@@ -210,13 +211,37 @@ class Task:
         self.gen = gen
         self.name = name or f"task-{self.tid}"
         self.done_future = Future(f"{self.name}.done")
+        #: The simulated image this task executes on behalf of, or None
+        #: for infrastructure tasks that survive any image's crash.  Only
+        #: owned tasks are registered with the simulator's kill registry.
+        self.owner = owner
+        self._killed = False
         # Resume state lives on the task (not in event args) and the bound
         # continuation is allocated once: every switch then schedules a
         # zero-arg callback, hitting the engine's `fn()` fast path.
         self._rvalue: Any = None
         self._rexc: Optional[BaseException] = None
         self._resume_cb = self._resume
+        if owner is not None:
+            sim._register_task(self)
         sim.call_soon(self._resume_cb)
+
+    # -- fail-stop support --------------------------------------------- #
+
+    def kill(self) -> None:
+        """Fail-stop this task: it never advances again.
+
+        Deliberately does *not* close the generator — ``gen.close()``
+        would raise GeneratorExit inside it and run its ``finally:``
+        blocks (completion counting, event posts), which a crashed image
+        must not do.  The generator is dropped so its frame is collected;
+        any already-queued resume callback no-ops via ``_killed``.
+        ``done_future`` is left unresolved, mirroring a process that
+        stopped mid-flight."""
+        if self._killed or self.done_future.done:
+            return
+        self._killed = True
+        self.gen = None
 
     # -- scheduling internals ------------------------------------------ #
 
@@ -226,6 +251,8 @@ class Task:
         simulator is quiescent at this instant (order-identical to the
         scheduled path; see module docstring), bouncing back through the
         scheduler at :data:`_TRAMPOLINE_CAP` resumptions."""
+        if self._killed:
+            return
         gen = self.gen
         sim = self.sim
         value = self._rvalue

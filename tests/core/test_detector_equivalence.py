@@ -1,0 +1,102 @@
+"""Equivalence of every termination detector under chaos (with the
+reliable transport healing the wire): each detector must reach the same
+finish outcome — same completed work, same collective agreement — as
+its own clean-network run.
+
+The six baseline detectors are parametrized; ``ft_epoch`` rides along
+with a failure service attached (it requires one) to pin down that the
+fault-tolerant rounds degenerate to the same outcome when nobody dies.
+"""
+
+import pytest
+
+from repro.net.faults import FaultPlan
+from repro.net.topology import MachineParams
+from repro.runtime.failure import FailureConfig
+from repro.runtime.program import run_spmd
+
+DETECTORS = ["epoch", "wave_unbounded", "wave_drain", "four_counter",
+             "vector_count", "barrier"]
+
+#: drops + dups + reorder together, seeded: the same hostile wire for
+#: every detector
+CHAOS = dict(drop=0.05, duplicate=0.05, reorder=2.0, seed=23)
+
+
+def chaos_plan():
+    return FaultPlan(**CHAOS)
+
+
+def fanout_kernel(img, detector, done):
+    """Two finish blocks: a spawn fan-out with a re-spawn hop (transitive
+    completion), then an empty one (quiet-start path)."""
+
+    def leaf(img2, origin):
+        yield from img2.compute(2e-6)
+        done.append((origin, img2.rank))
+
+    def hop(img2, origin):
+        yield from img2.compute(1e-6)
+        yield from img2.spawn(leaf, (img2.team_rank() + 1) % img2.nimages,
+                              origin)
+
+    yield from img.finish_begin()
+    for peer in range(img.nimages):
+        if peer != img.rank:
+            yield from img.spawn(hop, peer, img.rank)
+    yield from img.finish_end(detector=detector)
+    checkpoint = len(done)
+
+    yield from img.finish_begin()
+    yield from img.finish_end(detector=detector)
+    return checkpoint
+
+
+def run_once(detector, faults=None, failure_detection=None, n=4):
+    done = []
+    m, results = run_spmd(
+        fanout_kernel, n,
+        params=MachineParams.uniform(n, reliable=True),
+        args=(detector, done),
+        faults=faults,
+        failure_detection=failure_detection,
+        max_events=5_000_000)
+    return m, results, sorted(done)
+
+
+@pytest.mark.parametrize("detector", DETECTORS)
+class TestDetectorEquivalenceUnderChaos:
+    def test_same_outcome_as_clean_run(self, detector):
+        _m1, clean_results, clean_done = run_once(detector)
+        m2, chaos_results, chaos_done = run_once(detector,
+                                                 faults=chaos_plan())
+        # the plan actually bit: the wire misbehaved and was healed
+        assert m2.stats["net.drops"] > 0 or m2.stats["net.dups"] > 0
+        # every spawned leaf ran exactly once, chaos or not
+        assert chaos_done == clean_done
+        # finish released every image only after all transitive work:
+        # the checkpoint each image saw at finish exit covers all of it
+        assert chaos_results == clean_results
+
+    def test_no_leaf_lost_or_duplicated(self, detector):
+        n = 4
+        _m, _results, done = run_once(detector, faults=chaos_plan(), n=n)
+        expected = sorted((origin, (peer + 1) % n)
+                          for origin in range(n)
+                          for peer in range(n) if peer != origin)
+        assert done == expected
+
+
+class TestFtEpochDegeneratesCleanly:
+    """ft_epoch with a failure service but no failure must agree with
+    the plain epoch detector's outcome."""
+
+    def test_matches_epoch_outcome_under_chaos(self):
+        _m1, epoch_results, epoch_done = run_once("epoch",
+                                                  faults=chaos_plan())
+        m2, ft_results, ft_done = run_once(
+            "ft_epoch", faults=chaos_plan(),
+            failure_detection=FailureConfig())
+        assert m2.network.suspects == set()
+        assert ft_done == epoch_done
+        assert ft_results == epoch_results

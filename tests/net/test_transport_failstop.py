@@ -1,0 +1,136 @@
+"""Fail-stop behaviour of the transport: dead links, fail-fast sends,
+and the typed RetryExhaustedError / PeerFailedError diagnostics."""
+
+import pytest
+
+from repro.net.faults import FaultPlan
+from repro.net.topology import MachineParams, UniformTopology
+from repro.net.transport import (
+    Message,
+    Network,
+    PeerFailedError,
+    RetryExhaustedError,
+)
+from repro.sim.engine import Simulator
+
+
+def make_net(n=4, faults=None, **kwargs):
+    sim = Simulator()
+    defaults = dict(
+        topology=UniformTopology(n, wire_latency=1e-6, self_latency=1e-7),
+        bandwidth=1e9, o_send=1e-7, o_recv=1e-7,
+    )
+    defaults.update(kwargs)
+    params = MachineParams(**defaults)
+    return sim, Network(sim, params, faults=faults, seed=0)
+
+
+class TestMarkDead:
+    def test_delivery_to_dead_image_discarded(self):
+        sim, net = make_net()
+        delivered = []
+        net.send(Message(0, 1, 100, None,
+                         on_deliver=lambda m: delivered.append(m)))
+        net.mark_dead(1)
+        sim.run()
+        assert delivered == []
+        assert net.stats["net.dead_link_discards"] == 1
+
+    def test_delivery_from_dead_image_discarded(self):
+        sim, net = make_net()
+        delivered = []
+        net.send(Message(0, 1, 100, None,
+                         on_deliver=lambda m: delivered.append(m)))
+        net.mark_dead(0)
+        sim.run()
+        assert delivered == []
+
+    def test_inflight_receipt_fails_not_dangles(self):
+        """An acked send in flight when the destination dies must
+        resolve its delivered future with PeerFailedError — a dangling
+        future wedges the sender's finish frame forever."""
+        sim, net = make_net()
+        receipt = net.send(Message(0, 1, 100, None), want_ack=True)
+        net.mark_dead(1)
+        sim.run()
+        assert receipt.delivered.done
+        exc = receipt.delivered.exception()
+        assert isinstance(exc, PeerFailedError)
+        assert exc.peer == 1
+        assert exc.suspected is False
+
+    def test_mark_dead_idempotent(self):
+        sim, net = make_net()
+        net.mark_dead(1)
+        net.mark_dead(1)
+        assert net.stats["net.images_dead"] == 1
+
+
+class TestFailFastSend:
+    def test_send_to_dead_image_fails_immediately(self):
+        sim, net = make_net()
+        net.mark_dead(2)
+        receipt = net.send(Message(0, 2, 100, None), want_ack=True)
+        assert isinstance(receipt.delivered.exception(), PeerFailedError)
+        assert receipt.delivered.exception().suspected is False
+        sim.run()
+        assert receipt.injected.done  # local completion still resolves
+
+    def test_send_to_suspect_fails_with_suspected_flag(self):
+        sim, net = make_net()
+        net.suspects.add(3)
+        receipt = net.send(Message(0, 3, 100, None), want_ack=True)
+        exc = receipt.delivered.exception()
+        assert isinstance(exc, PeerFailedError)
+        assert exc.peer == 3
+        assert exc.suspected is True
+
+    def test_loopback_unaffected_by_own_death_flags(self):
+        """src == dst never takes the fail-fast path (memory hand-off)."""
+        sim, net = make_net()
+        delivered = []
+        net.suspects.add(0)
+        net.send(Message(0, 0, 100, None,
+                         on_deliver=lambda m: delivered.append(m)))
+        sim.run()
+        assert len(delivered) == 1
+
+    def test_reliable_retransmission_stops_on_suspicion(self):
+        """A reliably-sent message whose destination becomes suspected
+        mid-retry surfaces PeerFailedError at the next timer instead of
+        spinning to the retry cap."""
+        plan = FaultPlan(drop=0.999, seed=1)
+        sim, net = make_net(faults=plan, reliable=True, retry_cap=50)
+        receipt = net.send(Message(0, 1, 100, None), want_ack=True)
+        sim.schedule_at(1e-4, net.suspects.add, 1)
+        sim.run()
+        assert isinstance(receipt.delivered.exception(), PeerFailedError)
+        assert net.stats["net.retransmits"] < 50
+
+
+class TestRetryExhaustedDiagnostics:
+    def test_typed_fields_and_link_stats(self):
+        """Regression: RetryExhaustedError must carry the directed link,
+        the link seq, the attempt count, and the per-link retransmit
+        snapshot (not just a message string)."""
+        plan = FaultPlan(drop=0.999, seed=1)
+        sim, net = make_net(faults=plan, reliable=True, retry_cap=3)
+        net.send(Message(0, 1, 100, None), want_ack=True)
+        with pytest.raises(RetryExhaustedError) as ei:
+            sim.run()
+        exc = ei.value
+        assert exc.link == (0, 1)
+        assert exc.lseq == 0
+        assert exc.attempts == 3
+        assert exc.link_stats[(0, 1)] == 3
+        assert net.link_retransmits[(0, 1)] == 3
+
+    def test_link_retransmits_tracks_per_link(self):
+        plan = FaultPlan().drop_nth("msg", (1, 2))
+        sim, net = make_net(faults=plan, reliable=True, retry_cap=10)
+        net.send(Message(0, 1, 100, None), want_ack=True)
+        net.send(Message(2, 3, 100, None), want_ack=True)
+        sim.run()
+        # Exactly the two scripted first transmissions were retried.
+        assert sum(net.link_retransmits.values()) == 2
+        assert set(net.link_retransmits) == {(0, 1), (2, 3)}

@@ -1,0 +1,137 @@
+"""Heartbeat failure detector: configuration, suspicion timing, image
+queries, and detector shutdown."""
+
+import pytest
+
+from repro.net.faults import FaultPlan
+from repro.runtime.failure import FailureConfig, ImageFailureError
+from repro.runtime.program import run_spmd
+
+
+def idle_kernel(img, cost=2e-3):
+    yield from img.compute(cost)
+    return img.rank
+
+
+class TestFailureConfig:
+    def test_defaults(self):
+        cfg = FailureConfig()
+        assert cfg.timeout == pytest.approx(10 * cfg.period)
+        assert cfg.recover is False
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError, match="period"):
+            FailureConfig(period=0.0)
+
+    def test_rejects_timeout_not_exceeding_period(self):
+        with pytest.raises(ValueError, match="timeout"):
+            FailureConfig(period=1e-4, timeout=1e-4)
+
+
+class TestSuspicion:
+    def test_crashed_image_suspected_within_timeout(self):
+        cfg = FailureConfig(period=5e-5)
+        m, _ = run_spmd(idle_kernel, 4, faults=FaultPlan().crash_at(1, 1e-4),
+                        failure_detection=cfg)
+        assert 1 in m.network.suspects
+        assert m.dead_images == {1}
+        assert m.stats["fail.suspected"] == 1
+
+    def test_no_false_suspicion_on_clean_run(self):
+        m, results = run_spmd(idle_kernel, 4,
+                              failure_detection=FailureConfig())
+        assert m.network.suspects == set()
+        assert results == [0, 1, 2, 3]
+        assert m.stats["fail.hb_rounds"] > 0
+
+    def test_detection_time_bounded_by_timeout_plus_period(self):
+        """Suspicion lands within one timeout plus one detector period
+        of the crash (plus heartbeat delivery slack)."""
+        cfg = FailureConfig(period=5e-5)
+        crash_t = 1e-4
+        m, _ = run_spmd(idle_kernel, 4,
+                        faults=FaultPlan().crash_at(1, crash_t),
+                        failure_detection=cfg)
+        assert 1 in m.network.suspects
+        assert m.sim.now >= crash_t + cfg.timeout
+
+    def test_survivor_results_kept_dead_result_none(self):
+        m, results = run_spmd(idle_kernel, 4,
+                              faults=FaultPlan().crash_at(2, 1e-4),
+                              failure_detection=FailureConfig())
+        assert results[2] is None
+        assert results[0] == 0 and results[1] == 1 and results[3] == 3
+
+    def test_main_finished_before_crash_keeps_result(self):
+        """A crash after an image's main completed must not erase the
+        result it already produced."""
+        m, results = run_spmd(idle_kernel, 4, args=(1e-5,),
+                              faults=FaultPlan().crash_at(2, 1.0),
+                              failure_detection=FailureConfig())
+        assert results == [0, 1, 2, 3]
+
+
+class TestImageQueries:
+    def test_failed_and_alive_images(self):
+        seen = {}
+
+        def kernel(img):
+            yield from img.compute(2e-3)
+            if img.rank == 0:
+                seen["failed"] = img.failed_images()
+                seen["alive"] = img.alive_images()
+                seen["is_failed"] = img.image_failed(1)
+
+        run_spmd(kernel, 4, faults=FaultPlan().crash_at(1, 1e-4),
+                 failure_detection=FailureConfig(period=5e-5))
+        assert seen["failed"] == [1]
+        assert seen["alive"] == [0, 2, 3]
+        assert seen["is_failed"] is True
+
+    def test_queries_without_detector_report_nothing(self):
+        seen = {}
+
+        def kernel(img):
+            if img.rank == 0:
+                seen["failed"] = img.failed_images()
+                seen["alive"] = img.alive_images()
+            yield from img.compute(1e-6)
+
+        run_spmd(kernel, 2)
+        assert seen["failed"] == []
+        assert seen["alive"] == [0, 1]
+
+
+class TestDetectorShutdown:
+    def test_event_queue_drains_after_mains_finish(self):
+        """Detector timers must stop once every surviving main is done,
+        or run_spmd would never return; reaching this assert is most of
+        the test."""
+        m, results = run_spmd(idle_kernel, 4,
+                              failure_detection=FailureConfig())
+        assert results == [0, 1, 2, 3]
+        assert m.stats["fail.detectors"] == 4
+
+    def test_detectors_die_with_their_image(self):
+        """The dead image's own detector is killed by the crash; only
+        survivors keep heartbeating (3 targets per round, not 4)."""
+        m, _ = run_spmd(idle_kernel, 4,
+                        faults=FaultPlan().crash_at(1, 1e-4),
+                        failure_detection=FailureConfig(period=5e-5))
+        assert 1 in m.dead_images
+
+
+class TestKillImage:
+    def test_kill_image_idempotent(self):
+        m, _ = run_spmd(idle_kernel, 2,
+                        faults=FaultPlan().crash_at(1, 1e-4),
+                        failure_detection=FailureConfig())
+        assert m.stats["fail.crashes"] == 1
+        m.kill_image(1)
+        assert m.stats["fail.crashes"] == 1
+
+    def test_kill_image_range_checked(self):
+        m, _ = run_spmd(idle_kernel, 2,
+                        failure_detection=FailureConfig())
+        with pytest.raises(ValueError):
+            m.kill_image(7)
