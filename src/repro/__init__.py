@@ -19,7 +19,13 @@ Quick start::
     machine, results = run_spmd(kernel, n_images=8)
 """
 
-from repro.net.faults import FaultPlan, NicStall
+from repro.net.faults import (
+    FaultPlan,
+    LinkFlap,
+    NicStall,
+    Partition,
+    Straggler,
+)
 from repro.net.topology import (
     MachineParams,
     UniformTopology,
@@ -52,6 +58,9 @@ __version__ = "1.0.0"
 __all__ = [
     "FaultPlan",
     "NicStall",
+    "Straggler",
+    "Partition",
+    "LinkFlap",
     "RetryExhaustedError",
     "PeerFailedError",
     "FailureConfig",

@@ -130,11 +130,14 @@ def run_ordering_bug(n_images: int = 2,
 
 def make_ordering_bug_target(n_images: int = 2,
                              config: Optional[OrderingBugConfig] = None,
-                             params=None, seed: int = 0,
+                             params=None, seed: int = 0, faults=None,
                              racecheck: bool = False):
     """The explorer target for this app: fresh machine per schedule,
     failing on the stale-read invariant (and on race reports when
-    ``racecheck`` is on)."""
+    ``racecheck`` is on).  Passing ``faults`` — typically a plan whose
+    ``crash_choice``/``partition_choice`` menus turn fault timing into
+    schedule choice points — composes chaos with message ordering in
+    one search space."""
     from repro.explore.explorer import make_spmd_target
 
     if n_images < 2:
@@ -148,5 +151,6 @@ def make_ordering_bug_target(n_images: int = 2,
 
     return make_spmd_target(
         obug_kernel, n_images, setup=setup, args=(config,), params=params,
-        seed=seed, racecheck=racecheck, invariant=ordering_invariant,
+        seed=seed, faults=faults, racecheck=racecheck,
+        invariant=ordering_invariant,
     )

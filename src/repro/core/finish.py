@@ -135,12 +135,18 @@ class FinishFrame:
         self.received_from: dict[int, int] = {}
         self.completed_from: dict[int, int] = {}
         #: peers whose counts were reconciled out of this frame; seeded
-        #: from the failure service so frames created lazily *after* a
-        #: suspicion never count traffic paired with the dead image.
+        #: from the failure service's *confirmed* set so frames created
+        #: lazily after a confirmation never count traffic paired with
+        #: the dead image.  Mere suspicion does not reconcile (DESIGN
+        #: §12): the suspect's traffic is quarantined, not lost.
         self.reconciled: set[int] = set()
         failure = getattr(machine, "failure", None)
         if failure is not None:
-            self.reconciled |= failure.suspects
+            self.reconciled |= failure.confirmed
+        #: exact-subtraction stamps per reconciled peer, kept so a false
+        #: confirmation can be healed by replaying the algebra in
+        #: reverse (:meth:`unreconcile`)
+        self._reconcile_stamps: dict[int, tuple] = {}
         #: outbound spawn ledger [(spawn_id, dst, fn, args, name)], kept
         #: only while a failure service with recovery is attached; popped
         #: per-destination by reconcile_failure for re-execution.
@@ -263,9 +269,48 @@ class FinishFrame:
         lost = [e for e in self.ledger if e[1] == dead]
         if lost:
             self.ledger = [e for e in self.ledger if e[1] != dead]
+        self._reconcile_stamps[dead] = (d, r, c, tuple(lost))
         self.machine.stats.incr("finish.reconciled")
         self.cond.wake()
         return lost
+
+    def unreconcile(self, peer: int) -> None:
+        """Heal a false confirmation: replay :meth:`reconcile_failure`'s
+        exact subtraction in reverse, so ``peer``'s counter pairs count
+        again and its future stamps are no longer ignored.  No count is
+        added twice (the stamps record exactly what was subtracted, and
+        while reconciled no new pair with ``peer`` could accumulate) and
+        none is lost (the transport heals *before* delivering the
+        message that proved the peer alive).  Idempotent."""
+        if peer not in self.reconciled:
+            return
+        self.reconciled.discard(peer)
+        d, r, c, lost = self._reconcile_stamps.pop(peer, (0, 0, 0, ()))
+        # Collapse to even first: the subtraction targeted the even
+        # epoch, and the gen bump restarts any in-progress detector
+        # wave — the membership it snapshotted just changed.
+        self.fold_to_even()
+        if d:
+            self.delivered_to[peer] = self.delivered_to.get(peer, 0) + d
+        if r:
+            self.received_from[peer] = self.received_from.get(peer, 0) + r
+        if c:
+            self.completed_from[peer] = self.completed_from.get(peer, 0) + c
+        self.even.sent += d
+        self.even.delivered += d
+        self.even.received += r
+        self.even.completed += c
+        self.c_sent += d
+        self.c_delivered += d
+        self.c_received += r
+        self.c_completed += c
+        if lost:
+            # The popped spawn-ledger entries go back on the books: the
+            # peer is alive, so they were delivered (or quarantined and
+            # flushed), not lost.
+            self.ledger.extend(lost)
+        self.machine.stats.incr("finish.unreconciled")
+        self.cond.wake()
 
     def snapshot(self) -> dict:
         """Counter snapshot for liveness diagnostics (see
@@ -333,9 +378,21 @@ def stall_report(machine, blocked: list) -> str:
     dead = sorted(getattr(machine, "dead_images", ()))
     if dead:
         lines.append(f"  dead images: {dead}")
-    suspects = sorted(getattr(net, "suspects", ()))
+    confirmed = set(getattr(net, "confirmed", ()))
+    suspects = sorted(set(getattr(net, "suspects", ())) - confirmed)
     if suspects:
         lines.append(f"  suspected images: {suspects}")
+    if confirmed:
+        lines.append(f"  confirmed dead images: {sorted(confirmed)}")
+    service = getattr(machine, "failure", None)
+    if service is not None and service.recovered:
+        lines.append(
+            "  recovered images: "
+            + ", ".join(f"{r} (incarnation {service.incarnations[r]})"
+                        for r in sorted(service.recovered)))
+    if getattr(net, "_quarantine", None):
+        parked = {dst: len(q) for dst, q in sorted(net._quarantine.items())}
+        lines.append(f"  quarantined sends per suspect: {parked}")
     # Per-image pending handles: spawn replies still awaiting delivery
     # acks, and blocked event_wait calls.
     pending_spawns: dict[int, int] = {}

@@ -43,6 +43,11 @@ from repro.core import finish as fin
 
 _EXEC = "spawn.exec"
 
+
+def _peer_failed_error():
+    from repro.net.transport import PeerFailedError
+    return PeerFailedError
+
 #: fixed descriptor bytes per spawn (function id, frame key, tag, header)
 SPAWN_HEADER_BYTES = 32
 #: descriptor bytes for one by-reference argument
@@ -197,9 +202,27 @@ def spawn(ctx, fn, target: int, *args: Any,
     op.initiated.set_result(None)
     chain(receipt.injected, op.local_data)
     chain(receipt.delivered, op.local_op)
-    receipt.delivered.add_done_callback(
-        lambda f: fin.count_delivery_outcome(machine, ctx.rank, key, stamp,
-                                             f))
+
+    def _delivery_outcome(f):
+        fin.count_delivery_outcome(machine, ctx.rank, key, stamp, f)
+        # Recovery: a send the transport failed definitively (fresh sends
+        # fail before transmission; in-flight ones only once the peer is
+        # confirmed dead) never runs its function at the destination.
+        # Re-execute it here now — reconciliation cannot, because the
+        # on_send_failed subtraction already rebalanced the frame, so a
+        # finish may conclude before the peer is ever confirmed.
+        if (frame is not None and failure is not None and failure.recover
+                and ctx.rank not in machine.dead_images
+                and isinstance(f.exception(), _peer_failed_error())):
+            for i, entry in enumerate(frame.ledger):
+                if entry[0] == spawn_id:
+                    del frame.ledger[i]
+                    machine.stats.incr("spawn.recovered")
+                    _run_local(machine, ctx.rank, frame, fn, shipped_args,
+                               spawn_id, name)
+                    break
+
+    receipt.delivered.add_done_callback(_delivery_outcome)
     # The initiator cannot observe execution completion without an event;
     # global completion is finish's business.  local_op is the strongest
     # initiator-side guarantee the handle itself carries.

@@ -3,20 +3,24 @@
 The paper's Fig. 7 algorithm closes each wave with a synchronous team
 allreduce — which deadlocks the moment a team member fail-stops, because
 the reduction tree waits for the dead image's contribution forever.
-This variant replaces the allreduce with a coordinator round that only
-ever waits on *currently alive* members:
+This variant replaces the allreduce with a coordinator round that never
+waits on a *confirmed-dead* member (whose counters reconciliation has
+already folded into the survivors):
 
 1. wait until locally quiet in the even epoch **or** a failure is known
-   (a suspicion reconciles the frame's counters and wakes the wait);
+   (a confirmed death reconciles the frame's counters and wakes the
+   wait; a mere suspicion only re-routes coordination around the peer);
 2. with recovery off, a known failure raises a structured
    :class:`~repro.runtime.failure.ImageFailureError` instead of wedging;
 3. otherwise report ``even.sent - even.completed`` to the round's
    coordinator — the lowest-ranked alive member — stamped with the
    membership generation the report was computed under;
-4. the coordinator collects reports from every alive member *of the same
-   generation*; a mid-round suspicion bumps the generation, making the
-   survivors restart the round against the new membership (and possibly
-   a new coordinator, if the old one died);
+4. the coordinator collects reports from every member *not confirmed
+   dead* (merely-suspected members included — their counters are
+   un-reconciled, so a verdict summed without them is not a consistent
+   cut) of the same generation; a mid-round membership change bumps the
+   generation, making the survivors restart the round (and possibly
+   elect a new coordinator, if the old one died);
 5. the round's verdict (the summed outstanding count) is cached under
    ``(frame key, round)`` and broadcast; termination is a zero verdict.
 
@@ -71,14 +75,20 @@ def _accept_report(machine, key, r, team_id, rank: int, outstanding: int,
         machine.scratch[_collect_slot(key, r)] = state
     state["reports"][rank] = outstanding
     team = machine.team_by_id(team_id)
-    alive = service.alive_members(team)
-    if not all(m in state["reports"] for m in alive):
+    # The verdict must sum over every member not confirmed dead —
+    # merely-suspected members included.  Excluding a live suspect sums
+    # an inconsistent cut: its unmatched sends/completions flow through
+    # the survivors' counters with opposite signs and can cancel to a
+    # spurious zero while it still holds live work (seen as an exact
+    # UTS undercount under phi suspicion across a healing partition).
+    required = service.required_members(team)
+    if not all(m in state["reports"] for m in required):
         return
-    total = sum(state["reports"][m] for m in alive)
+    total = sum(state["reports"][m] for m in required)
     machine.scratch[_verdict_slot(key, r)] = total
     machine.scratch.pop(_collect_slot(key, r), None)
     machine.stats.incr("ft.rounds_decided")
-    for member in alive:
+    for member in required:
         _send_verdict(machine, key, r, member, coord)
 
 
@@ -125,8 +135,9 @@ def ft_epoch_detector(ctx, frame: FinishFrame) -> Generator[Any, Any, int]:
     rounds = 0
     r = 0
     if service.recover:
-        # Recovery mode: a suspicion reconciles the counters (waking the
-        # condition), so plain local quiescence is the whole wait.
+        # Recovery mode: a confirmed death reconciles the counters
+        # (waking the condition), so plain local quiescence is the
+        # whole wait.  Mere suspicion only bumps the generation.
         quiet_or_failed = frame.even.locally_quiet
     else:
         # Report-only mode: a known failure ends the wait — to raise.
@@ -137,7 +148,7 @@ def ft_epoch_detector(ctx, frame: FinishFrame) -> Generator[Any, Any, int]:
         yield from frame.cond.wait_until(quiet_or_failed)
         if not service.recover and service.has_failed(frame.team):
             raise build_failure_error(
-                machine, dead=set(service.suspects),
+                machine, dead=set(service.confirmed),
                 reason=f"image failure detected inside finish{key}")
         if not frame.even.locally_quiet():
             continue

@@ -145,6 +145,13 @@ def make_spmd_target(kernel: Callable, n_images: int, *,
             sim_time=machine.sim.now,
         )
 
+    # The plan's config rides on the target so the explorer can stamp it
+    # into every recorded Schedule: a schedule artifact then carries
+    # everything needed to rebuild the run (program aside) — fault menus
+    # included, since their "fault" choice points live in the recorded
+    # sequence itself (DESIGN §10 × §12).
+    target.fault_config = (faults.to_config() if faults is not None
+                           else None)
     return target
 
 
@@ -201,6 +208,7 @@ class Explorer:
                 meta={"strategy": getattr(strategy, "name",
                                           type(strategy).__name__),
                       "run": i},
+                fault_plan=getattr(self.target, "fault_config", None),
                 outcome=outcome.to_json(),
                 lag_steps=recorder.lag_steps,
                 lag_slack=recorder.lag_slack,

@@ -20,6 +20,7 @@ from repro.harness.experiments import (
     chaos_resilience,
     crash_recovery,
     explore_search,
+    grayfail_detectors,
     races_audit,
 )
 
@@ -40,5 +41,6 @@ __all__ = [
     "ablation_steal_chunk",
     "chaos_resilience",
     "crash_recovery",
+    "grayfail_detectors",
     "races_audit",
 ]

@@ -24,6 +24,7 @@ from repro.harness import (
     crash_recovery,
     explore_search,
     fig05_barrier_failure,
+    grayfail_detectors,
     fig12_cofence_micro,
     fig13_randomaccess_scaling,
     fig14_bunch_size,
@@ -79,6 +80,9 @@ EXPERIMENTS = {
     "crash": (lambda quick: crash_recovery(
         n_images=4,
         tree=_QUICK_TREE if quick else None)),
+    "grayfail": (lambda quick: grayfail_detectors(
+        n_images=4 if quick else 6,
+        slices=60 if quick else 100)),
     "explore": (lambda quick: explore_search(
         budget=150 if quick else 500,
         rounds=2 if quick else 4,

@@ -500,6 +500,123 @@ def chaos_resilience(drop_rates: Sequence[float] = (0.0, 0.02, 0.05, 0.1),
 
 
 # --------------------------------------------------------------------- #
+# Gray failures — phi-accrual vs fixed-timeout detection (DESIGN §12)
+# --------------------------------------------------------------------- #
+
+def grayfail_detectors(n_images: int = 6, slices: int = 100,
+                       slice_cost: float = 2e-5,
+                       straggle_factor: float = 12.0,
+                       crash_time: float = 8e-4,
+                       seed: int = 0, quiet: bool = False) -> dict:
+    """Detector quality under gray failures: the adaptive phi-accrual
+    rule against the fixed timeout, on the same chaos.
+
+    Three scenarios per detector, all on a sliced-compute kernel whose
+    only traffic is the heartbeat stream:
+
+    - *straggler*: image 1 degrades to ``straggle_factor`` x service
+      time, stretching its heartbeat cadence past the suspicion
+      timeout.  The fixed rule flaps (one false suspicion per slow
+      heartbeat gap); phi adapts once the slow inter-arrivals enter its
+      window and stops suspecting — the false-suspicion count is the
+      headline number.
+    - *straggler + real crash*: a different image fail-stops.  Both
+      rules must notice at (near-)identical latency — adaptivity is
+      only worth having if it does not slow real detection.
+    - *partition, healing*: both sides go silent for less than
+      ``confirm_timeout``.  Neither rule can see through a severed link
+      (silence is silence), so both flap equally; what matters is that
+      the time-based confirmation floor holds — zero confirmations,
+      every suspicion retracted on heal.
+    """
+    cfg_kwargs = dict(period=2e-5, timeout=5e-5, confirm_timeout=1e-3,
+                      phi_suspect=12.0, window=100)
+
+    def kernel(img, n_slices, cost):
+        for _ in range(n_slices):
+            yield from img.compute(cost)
+
+    def measure(detector: str, plan: FaultPlan) -> dict:
+        from repro.runtime.failure import FailureConfig
+
+        machine, _ = run_spmd(
+            kernel, n_images, args=(slices, slice_cost), seed=seed,
+            faults=plan,
+            failure_detection=FailureConfig(detector=detector,
+                                            **cfg_kwargs))
+        service = machine.failure
+        tts = service.time_to_unsuspect
+        return {
+            "false_suspicions": machine.stats["fail.false_suspected"],
+            "unsuspected": machine.stats["fail.unsuspected"],
+            "confirmed": machine.stats["fail.confirmed"],
+            "suspect_latency": (service.suspect_latency[0]
+                                if service.suspect_latency else None),
+            "mean_time_to_unsuspect": (sum(tts) / len(tts) if tts
+                                       else None),
+        }
+
+    half = n_images // 2
+    results: dict = {}
+    for det in ("timeout", "phi"):
+        results[det] = {
+            "straggler": measure(det, FaultPlan().straggle(
+                1, straggle_factor, degrade_at=2e-4)),
+            "crash": measure(det, FaultPlan()
+                             .straggle(1, straggle_factor, degrade_at=2e-4)
+                             .crash_at(n_images - 1, crash_time)),
+            "partition": measure(det, FaultPlan().partition(
+                [list(range(half)), list(range(half, n_images))],
+                at=4e-4, heal_at=7e-4)),
+        }
+
+    t, p = results["timeout"], results["phi"]
+    period = cfg_kwargs["period"]
+    results["ok"] = (
+        p["straggler"]["false_suspicions"]
+        < t["straggler"]["false_suspicions"]
+        and t["crash"]["suspect_latency"] is not None
+        and p["crash"]["suspect_latency"] is not None
+        and abs(t["crash"]["suspect_latency"]
+                - p["crash"]["suspect_latency"]) <= 2 * period
+        and all(results[d][s]["confirmed"] == 0
+                for d in ("timeout", "phi")
+                for s in ("straggler", "partition")))
+
+    if not quiet:
+        table = Table(
+            f"Gray failures — phi-accrual vs fixed timeout "
+            f"({n_images} images, straggler x{straggle_factor:g}, "
+            f"healing partition)",
+            ["detector", "scenario", "false suspicions", "unsuspected",
+             "confirmed", "crash latency", "mean heal time"],
+        )
+        for det in ("timeout", "phi"):
+            for scenario in ("straggler", "crash", "partition"):
+                row = results[det][scenario]
+                table.add_row([
+                    det, scenario,
+                    row["false_suspicions"], row["unsuspected"],
+                    row["confirmed"],
+                    (format_seconds(row["suspect_latency"])
+                     if row["suspect_latency"] is not None else "-"),
+                    (format_seconds(row["mean_time_to_unsuspect"])
+                     if row["mean_time_to_unsuspect"] is not None else "-"),
+                ])
+        table.print()
+        print("verdict:", "OK — phi strictly fewer false suspicions at "
+              "equal crash-detection latency; zero false confirmations"
+              if results["ok"] else "FAILED (see table)")
+
+    assert results["ok"], (
+        "grayfail detector comparison failed: "
+        f"timeout={t['straggler']['false_suspicions']} false suspicions, "
+        f"phi={p['straggler']['false_suspicions']}; crash latencies "
+        f"{t['crash']['suspect_latency']} vs {p['crash']['suspect_latency']}")
+    return results
+
+
+# --------------------------------------------------------------------- #
 # Race audit — the happens-before detector over the paper apps
 # --------------------------------------------------------------------- #
 

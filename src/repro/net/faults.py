@@ -31,19 +31,52 @@ Fault classes
   for surgical regression tests such as "lose the first ``coll.up`` of
   the termination wave".
 
+Gray failures (DESIGN §12)
+--------------------------
+Beyond clean losses and fail-stop crashes the plan scripts *gray*
+failures — conditions that look like a crash to a timeout detector but
+are not one:
+
+- *stragglers* (:class:`Straggler` / :meth:`FaultPlan.straggle`): a
+  per-image service-time multiplier over a window.  The transport
+  stretches the image's NIC injection times by the factor, the image's
+  modelled computation slows, and its failure-detector task ticks at the
+  degraded rate — so its heartbeats arrive late, exactly the signature
+  that flips a fixed-timeout detector.
+- *partitions* (:class:`Partition` / :meth:`FaultPlan.partition`): the
+  images split into groups at ``start``; every transmission crossing a
+  group boundary is lost until ``heal_at`` (forever when None).
+- *flapping links* (:class:`LinkFlap` / :meth:`FaultPlan.flap_link`): a
+  directed link alternates down/up windows on a fixed cadence.
+
+All three are pure functions of virtual time (:meth:`service_factor`,
+:meth:`link_down`) — no rng draws — so adding them never shifts the
+drop/duplicate decision stream of an existing seed.
+
+Schedule-space composition (DESIGN §10 x §12)
+---------------------------------------------
+:meth:`crash_choice` and :meth:`partition_choice` script fault *menus*
+instead of fixed timings: when the machine carries a schedule source,
+each menu becomes a ``"fault"`` :class:`~repro.sim.engine.ChoicePoint`
+(alternative 0 = fault absent, k = the k-th scripted timing), resolved
+once at machine construction via :meth:`resolve_choices`.  Crash and
+partition timing thereby lives in the same recorded, replayable,
+minimizable search space as message ordering.
+
 Loopback messages (``src == dst``) never fault: they model in-memory
 hand-off, not wire traffic.
 """
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterable, Optional, Union
 
 import numpy as np
 
-__all__ = ["FaultPlan", "NicStall"]
+__all__ = ["FaultPlan", "LinkFlap", "NicStall", "Partition", "Straggler"]
 
 
 @dataclass(frozen=True)
@@ -66,6 +99,119 @@ class NicStall:
     @property
     def end(self) -> float:
         return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """A per-image service-time multiplier over a window.
+
+    While active (``degrade_at <= t < recover_at``) every modelled
+    service time on ``image`` — NIC injection, ``compute`` durations,
+    its detector's tick period — is stretched by ``factor``.  The image
+    stays correct, just slow: the canonical gray failure."""
+
+    image: int
+    factor: float
+    degrade_at: float = 0.0
+    recover_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.image < 0:
+            raise ValueError(f"negative image {self.image}")
+        if self.factor < 1.0:
+            raise ValueError(
+                f"straggler factor must be >= 1, got {self.factor!r}")
+        if self.degrade_at < 0:
+            raise ValueError(f"negative degrade_at {self.degrade_at!r}")
+        if self.recover_at is not None and self.recover_at <= self.degrade_at:
+            raise ValueError(
+                f"recover_at must exceed degrade_at, got "
+                f"degrade_at={self.degrade_at!r} recover_at={self.recover_at!r}")
+
+    def applies(self, t: float) -> bool:
+        return (self.degrade_at <= t
+                and (self.recover_at is None or t < self.recover_at))
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A group-split of the images over ``[start, heal_at)``.
+
+    While active, any transmission whose endpoints both appear in
+    ``groups`` but in *different* groups is lost on the wire.  Images
+    not listed in any group are unaffected (they can reach everyone).
+    ``heal_at=None`` means the partition never heals."""
+
+    groups: tuple
+    start: float
+    heal_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        norm = tuple(tuple(sorted(int(i) for i in g)) for g in self.groups)
+        object.__setattr__(self, "groups", tuple(sorted(norm)))
+        if len(self.groups) < 2:
+            raise ValueError("a partition needs at least two groups")
+        side: dict[int, int] = {}
+        for gi, group in enumerate(self.groups):
+            if not group:
+                raise ValueError("partition groups must be non-empty")
+            for image in group:
+                if image < 0:
+                    raise ValueError(f"negative image {image}")
+                if image in side:
+                    raise ValueError(
+                        f"image {image} appears in two partition groups")
+                side[image] = gi
+        if self.start < 0:
+            raise ValueError(f"negative partition start {self.start!r}")
+        if self.heal_at is not None and self.heal_at <= self.start:
+            raise ValueError(
+                f"heal_at must exceed start, got start={self.start!r} "
+                f"heal_at={self.heal_at!r}")
+        object.__setattr__(self, "_side", side)
+
+    def severs(self, src: int, dst: int, t: float) -> bool:
+        if t < self.start or (self.heal_at is not None and t >= self.heal_at):
+            return False
+        side = self._side
+        a = side.get(src)
+        return a is not None and a != side.get(dst, a)
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """A directed link that alternates down/up windows on a fixed
+    cadence: down for ``down_for``, up for ``up_for``, repeating from
+    ``start`` until ``until`` (forever when None)."""
+
+    src: int
+    dst: int
+    start: float
+    down_for: float
+    up_for: float
+    until: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ValueError(f"negative image in link ({self.src}, {self.dst})")
+        if self.src == self.dst:
+            raise ValueError("loopback links never fault")
+        if self.start < 0:
+            raise ValueError(f"negative flap start {self.start!r}")
+        if self.down_for <= 0 or self.up_for <= 0:
+            raise ValueError(
+                f"flap windows need down_for > 0 and up_for > 0, got "
+                f"down_for={self.down_for!r} up_for={self.up_for!r}")
+        if self.until is not None and self.until <= self.start:
+            raise ValueError(
+                f"until must exceed start, got start={self.start!r} "
+                f"until={self.until!r}")
+
+    def down(self, t: float) -> bool:
+        if t < self.start or (self.until is not None and t >= self.until):
+            return False
+        phase = math.fmod(t - self.start, self.down_for + self.up_for)
+        return phase < self.down_for
 
 
 def _check_prob(name: str, value: float) -> float:
@@ -110,6 +256,9 @@ class FaultPlan:
                  ack_drop: Optional[float] = None,
                  link_drop: Optional[dict] = None,
                  stalls: Iterable[NicStall] = (),
+                 stragglers: Iterable[Straggler] = (),
+                 partitions: Iterable[Partition] = (),
+                 flaps: Iterable[LinkFlap] = (),
                  seed: Optional[int] = None):
         self.drop = _check_prob("drop", drop)
         self.duplicate = _check_prob("duplicate", duplicate)
@@ -127,6 +276,18 @@ class FaultPlan:
         for stall in self.stalls:
             if not isinstance(stall, NicStall):
                 raise TypeError(f"stalls must be NicStall, got {stall!r}")
+        self.stragglers = tuple(stragglers)
+        for s in self.stragglers:
+            if not isinstance(s, Straggler):
+                raise TypeError(f"stragglers must be Straggler, got {s!r}")
+        self.partitions = tuple(partitions)
+        for p in self.partitions:
+            if not isinstance(p, Partition):
+                raise TypeError(f"partitions must be Partition, got {p!r}")
+        self.flaps = tuple(flaps)
+        for f in self.flaps:
+            if not isinstance(f, LinkFlap):
+                raise TypeError(f"flaps must be LinkFlap, got {f!r}")
         self.seed = seed
         self._rng: Optional[np.random.Generator] = None
         self._scripted: set[tuple[str, int]] = set()
@@ -135,6 +296,15 @@ class FaultPlan:
         self.crashes: dict[int, float] = {}
         self.crash_after_sends: dict[int, int] = {}
         self._send_counts: dict[int, int] = defaultdict(int)
+        #: Fault *menus* for schedule-space composition (DESIGN §12):
+        #: {image: candidate crash times} and
+        #: [(groups, candidate starts, heal_after)].  Resolved to
+        #: concrete faults per run by :meth:`resolve_choices`.
+        self.crash_choices: dict[int, tuple] = {}
+        self.partition_choices: list[tuple] = []
+        # Per-run resolution of the menus (never copied by clone).
+        self._resolved_crashes: dict[int, float] = {}
+        self._resolved_partitions: tuple = ()
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -181,6 +351,121 @@ class FaultPlan:
             self.crash_after_sends[image] = n
         return self
 
+    def straggle(self, image: int, factor: float, degrade_at: float = 0.0,
+                 recover_at: Optional[float] = None) -> "FaultPlan":
+        """Script a service-time slowdown: ``image`` runs ``factor``×
+        slower over ``[degrade_at, recover_at)``.  Chainable."""
+        self.stragglers += (Straggler(image, float(factor),
+                                      float(degrade_at),
+                                      None if recover_at is None
+                                      else float(recover_at)),)
+        return self
+
+    def partition(self, groups: Iterable[Iterable[int]], at: float,
+                  heal_at: Optional[float] = None) -> "FaultPlan":
+        """Script a network partition: the listed images split into
+        ``groups`` at time ``at``; cross-group transmissions are lost
+        until ``heal_at`` (forever when None).  Chainable."""
+        self.partitions += (Partition(tuple(tuple(g) for g in groups),
+                                      float(at),
+                                      None if heal_at is None
+                                      else float(heal_at)),)
+        return self
+
+    def flap_link(self, src: int, dst: int, at: float, down_for: float,
+                  up_for: float, until: Optional[float] = None) -> "FaultPlan":
+        """Script a flapping directed link: from ``at``, down for
+        ``down_for`` then up for ``up_for``, repeating until ``until``
+        (forever when None).  Chainable."""
+        self.flaps += (LinkFlap(int(src), int(dst), float(at),
+                                float(down_for), float(up_for),
+                                None if until is None else float(until)),)
+        return self
+
+    def crash_choice(self, image: int,
+                     times: Iterable[float]) -> "FaultPlan":
+        """Script a crash *menu*: when the run carries a schedule
+        source, a ``"fault"`` choice point picks one of ``times`` for a
+        fail-stop crash of ``image`` — or alternative 0, no crash.
+        Without a source the menu resolves to "no crash".  Chainable;
+        times are canonicalized sorted so the alternative indices are
+        order-independent."""
+        if image < 0:
+            raise ValueError(f"negative image {image}")
+        ts = tuple(sorted(float(t) for t in times))
+        if not ts:
+            raise ValueError("crash_choice needs at least one candidate time")
+        if ts[0] < 0:
+            raise ValueError(f"negative crash time {ts[0]!r}")
+        self.crash_choices[image] = tuple(
+            sorted(set(self.crash_choices.get(image, ()) + ts)))
+        return self
+
+    def partition_choice(self, groups: Iterable[Iterable[int]],
+                         starts: Iterable[float],
+                         heal_after: Optional[float] = None) -> "FaultPlan":
+        """Script a partition *menu*: a ``"fault"`` choice point picks
+        one of ``starts`` (or no partition) for a group-split that heals
+        ``heal_after`` later (never, when None).  Chainable."""
+        norm = tuple(tuple(sorted(int(i) for i in g)) for g in groups)
+        ts = tuple(sorted(float(t) for t in starts))
+        if not ts:
+            raise ValueError(
+                "partition_choice needs at least one candidate start")
+        if ts[0] < 0:
+            raise ValueError(f"negative partition start {ts[0]!r}")
+        if heal_after is not None and heal_after <= 0:
+            raise ValueError(f"heal_after must be positive, got {heal_after!r}")
+        # Validate the groups eagerly by building a throwaway Partition.
+        Partition(norm, ts[0],
+                  None if heal_after is None else ts[0] + heal_after)
+        self.partition_choices.append(
+            (tuple(sorted(norm)), ts,
+             None if heal_after is None else float(heal_after)))
+        return self
+
+    def resolve_choices(self, source) -> None:
+        """Resolve every fault menu against a schedule source (one
+        ``"fault"`` :class:`~repro.sim.engine.ChoicePoint` per menu, in
+        deterministic order).  ``source=None`` resolves every menu to
+        "no fault".  Called once per run by the machine; per-run state,
+        never copied by :meth:`clone`."""
+        self._resolved_crashes = {}
+        self._resolved_partitions = ()
+        if source is None:
+            return
+        from repro.sim.engine import ChoicePoint
+        for image in sorted(self.crash_choices):
+            times = self.crash_choices[image]
+            labels = ("none",) + tuple(f"t={t:g}" for t in times)
+            pick = source.choose(ChoicePoint(
+                "fault", len(times) + 1, labels=labels,
+                key=f"crash@{image}"))
+            if pick:
+                self._resolved_crashes[image] = times[pick - 1]
+        resolved = []
+        for i, (groups, starts, heal_after) in enumerate(
+                self.partition_choices):
+            labels = ("none",) + tuple(f"t={t:g}" for t in starts)
+            pick = source.choose(ChoicePoint(
+                "fault", len(starts) + 1, labels=labels,
+                key=f"partition@{i}"))
+            if pick:
+                t0 = starts[pick - 1]
+                resolved.append(Partition(
+                    groups, t0,
+                    None if heal_after is None else t0 + heal_after))
+        self._resolved_partitions = tuple(resolved)
+
+    def scheduled_crashes(self) -> dict[int, float]:
+        """Concrete fail-stop crashes for this run: the fixed
+        ``crash_at`` script merged with any menu picks (earliest time
+        wins per image)."""
+        merged = dict(self.crashes)
+        for image, t in self._resolved_crashes.items():
+            merged[image] = min(merged.get(image, t), t)
+        return merged
+
     def count_send(self, image: int) -> bool:
         """Count one original send by ``image``; True if it just hit a
         scripted ``crash_after_n_sends`` threshold."""
@@ -195,10 +480,14 @@ class FaultPlan:
         plan = FaultPlan(drop=self.drop, duplicate=self.duplicate,
                          reorder=self.reorder, ack_drop=self.ack_drop,
                          link_drop=dict(self.link_drop), stalls=self.stalls,
+                         stragglers=self.stragglers,
+                         partitions=self.partitions, flaps=self.flaps,
                          seed=self.seed)
         plan._scripted = set(self._scripted)
         plan.crashes = dict(self.crashes)
         plan.crash_after_sends = dict(self.crash_after_sends)
+        plan.crash_choices = dict(self.crash_choices)
+        plan.partition_choices = list(self.partition_choices)
         return plan
 
     def bind(self, rng: np.random.Generator) -> None:
@@ -226,6 +515,18 @@ class FaultPlan:
             "crash_after_sends": [
                 [image, n]
                 for image, n in sorted(self.crash_after_sends.items())],
+            "stragglers": [[s.image, s.factor, s.degrade_at, s.recover_at]
+                           for s in self.stragglers],
+            "partitions": [[[list(g) for g in p.groups], p.start, p.heal_at]
+                           for p in self.partitions],
+            "flaps": [[f.src, f.dst, f.start, f.down_for, f.up_for, f.until]
+                      for f in self.flaps],
+            "crash_choices": [[image, list(times)]
+                              for image, times
+                              in sorted(self.crash_choices.items())],
+            "partition_choices": [
+                [[list(g) for g in groups], list(starts), heal_after]
+                for groups, starts, heal_after in self.partition_choices],
             "seed": self.seed,
         }
 
@@ -242,6 +543,17 @@ class FaultPlan:
                        for src, dst, p in config.get("link_drop", [])},
             stalls=[NicStall(image, start, duration)
                     for image, start, duration in config.get("stalls", [])],
+            stragglers=[Straggler(int(image), factor, degrade_at, recover_at)
+                        for image, factor, degrade_at, recover_at
+                        in config.get("stragglers", [])],
+            partitions=[Partition(tuple(tuple(g) for g in groups),
+                                  start, heal_at)
+                        for groups, start, heal_at
+                        in config.get("partitions", [])],
+            flaps=[LinkFlap(int(src), int(dst), start, down_for, up_for,
+                            until)
+                   for src, dst, start, down_for, up_for, until
+                   in config.get("flaps", [])],
             seed=config.get("seed"),
         )
         for kind, n in config.get("scripted", []):
@@ -250,6 +562,10 @@ class FaultPlan:
             plan.crash_at(int(image), float(t))
         for image, n in config.get("crash_after_sends", []):
             plan.crash_after_n_sends(int(image), int(n))
+        for image, times in config.get("crash_choices", []):
+            plan.crash_choice(int(image), times)
+        for groups, starts, heal_after in config.get("partition_choices", []):
+            plan.partition_choice(groups, starts, heal_after)
         return plan
 
     @property
@@ -265,7 +581,9 @@ class FaultPlan:
         return bool(self.drop or self.duplicate or self.reorder
                     or self.ack_drop or self.link_drop or self.stalls
                     or self._scripted or self.crashes
-                    or self.crash_after_sends)
+                    or self.crash_after_sends or self.stragglers
+                    or self.partitions or self.flaps
+                    or self.crash_choices or self.partition_choices)
 
     # ------------------------------------------------------------------ #
     # Decisions (one call per transmission / ack, in simulation order)
@@ -317,6 +635,38 @@ class FaultPlan:
                     moved = True
         return released
 
+    def service_factor(self, image: int, t: float) -> float:
+        """Service-time multiplier for ``image`` at time ``t`` (1.0 when
+        no straggler window applies; overlapping windows take the worst
+        factor).  Pure in ``t`` — no rng draw."""
+        factor = 1.0
+        for s in self.stragglers:
+            if s.image == image and s.applies(t) and s.factor > factor:
+                factor = s.factor
+        return factor
+
+    def link_down(self, src: int, dst: int, t: float) -> bool:
+        """Whether the directed link ``src -> dst`` is severed at time
+        ``t`` by a partition (scripted or menu-resolved) or a flap
+        window.  Pure in ``t`` — no rng draw."""
+        for p in self.partitions:
+            if p.severs(src, dst, t):
+                return True
+        for p in self._resolved_partitions:
+            if p.severs(src, dst, t):
+                return True
+        for f in self.flaps:
+            if f.src == src and f.dst == dst and f.down(t):
+                return True
+        return False
+
+    @property
+    def gray(self) -> bool:
+        """Whether any gray-failure script could affect the wire
+        (checked once per transmission; cheap tuple truthiness)."""
+        return bool(self.partitions or self._resolved_partitions
+                    or self.flaps)
+
     # ------------------------------------------------------------------ #
 
     def describe(self) -> str:
@@ -336,6 +686,16 @@ class FaultPlan:
         if self.crash_after_sends:
             parts.append(
                 f"crash_after_sends={sorted(self.crash_after_sends.items())}")
+        if self.stragglers:
+            parts.append(f"stragglers={len(self.stragglers)}")
+        if self.partitions:
+            parts.append(f"partitions={len(self.partitions)}")
+        if self.flaps:
+            parts.append(f"flaps={len(self.flaps)}")
+        if self.crash_choices:
+            parts.append(f"crash_choices={sorted(self.crash_choices.items())}")
+        if self.partition_choices:
+            parts.append(f"partition_choices={len(self.partition_choices)}")
         parts.append(f"seed={self.seed}")
         return f"FaultPlan({', '.join(parts)})"
 

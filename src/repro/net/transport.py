@@ -252,10 +252,25 @@ class Network:
         #: down — in-flight deliveries to/from them are discarded and
         #: pending retransmissions fail with :class:`PeerFailedError`
         self._dead: set[int] = set()
-        #: suspected-dead images.  The failure detector shares its
-        #: monotonic suspect set here; retransmission to a suspect stops
-        #: at the next timer instead of spinning to the retry cap.
+        #: suspected-dead images (shared with the failure detector;
+        #: includes every confirmed image, so the send fast path needs
+        #: only this one membership check).  Sends to a *merely*
+        #: suspected peer park in the quarantine; sends to a confirmed
+        #: one fail fast.
         self.suspects: set[int] = set()
+        #: confirmed-dead images per the failure detector (always a
+        #: subset of ``suspects``).  Unlike ``_dead`` — physical crash,
+        #: links down — confirmation is a detector *verdict* and can be
+        #: wrong; a delivery from a confirmed peer resurrects it.
+        self.confirmed: set[int] = set()
+        #: quarantined traffic per suspected destination: FIFO of
+        #: ``("send", msg, receipt, best_effort)`` fresh sends and
+        #: ``("pend", pend)`` parked retransmissions, flushed in order on
+        #: unsuspect, failed with PeerFailedError on confirmation
+        self._quarantine: dict[int, list] = {}
+        #: per-destination quarantine bound; the newest send overflows
+        #: with PeerFailedError(suspected=True)
+        self.quarantine_cap = 256
         #: liveness piggyback hook: called as ``fn(src, dst)`` whenever a
         #: delivery batch from ``src`` lands at ``dst`` — any delivered
         #: traffic doubles as a heartbeat for the failure detector
@@ -286,29 +301,73 @@ class Network:
         detector heartbeats use this; a reliable heartbeat to a dead
         peer would retransmit forever).
         """
-        p = self.params
         msg.seq = next(self._msg_seq)
         receipt = DeliveryReceipt(msg, want_ack)
 
         if msg.src != msg.dst and (msg.dst in self._dead
                                    or msg.dst in self.suspects):
-            # Fail fast: the destination is crashed or suspected dead.
-            # The receipt surfaces a typed error instead of the protocol
-            # spinning to the retry cap against a downed link.
             self.stats.incr("net.msgs")
+            if msg.dst in self._dead or msg.dst in self.confirmed:
+                # Fail fast: the destination is crashed (or the detector
+                # confirmed it dead).  The receipt surfaces a typed
+                # error instead of the protocol spinning to the retry
+                # cap against a downed link.
+                self._fail_fresh_send(msg, receipt)
+            elif best_effort:
+                # Fire-and-forget traffic (heartbeats) transmits even
+                # toward a suspect: these are exactly the probes that can
+                # prove the suspicion wrong.  Parking them would make a
+                # mutual suspicion (a healed partition) permanent — no
+                # probe could ever cross, so no side could ever unsuspect
+                # the other.
+                self._send_now(msg, receipt, best_effort)
+            else:
+                # Merely suspected: the verdict may be wrong (straggler,
+                # partition), so park instead of failing — quarantined
+                # traffic flushes on unsuspect, fails on confirmation.
+                self._park(msg, receipt, best_effort)
+            return receipt
+
+        self.stats.incr("net.msgs")
+        self._send_now(msg, receipt, best_effort)
+        return receipt
+
+    def _fail_fresh_send(self, msg: Message, receipt: DeliveryReceipt) -> None:
+        self.stats.incr("net.peer_failed")
+        if receipt.delivered is not None:
+            receipt.delivered.set_exception(PeerFailedError(
+                f"send of {msg!r} abandoned: image {msg.dst} is "
+                + ("confirmed dead" if msg.dst not in self._dead
+                   else "crashed"),
+                peer=msg.dst, suspected=msg.dst not in self._dead))
+        self.sim.call_soon(receipt.injected.set_result, None)
+
+    def _park(self, msg: Message, receipt: DeliveryReceipt,
+              best_effort: bool) -> None:
+        queue = self._quarantine.setdefault(msg.dst, [])
+        if len(queue) >= self.quarantine_cap:
+            # Bounded: the newest send overflows with a typed failure
+            # rather than the queue growing without limit while the
+            # detector makes up its mind.
+            self.stats.incr("net.quarantine_overflow")
             self.stats.incr("net.peer_failed")
             if receipt.delivered is not None:
                 receipt.delivered.set_exception(PeerFailedError(
-                    f"send of {msg!r} abandoned: image {msg.dst} is "
-                    + ("suspected dead" if msg.dst not in self._dead
-                       else "crashed"),
-                    peer=msg.dst, suspected=msg.dst not in self._dead))
+                    f"send of {msg!r} abandoned: quarantine for suspected "
+                    f"image {msg.dst} is full ({self.quarantine_cap})",
+                    peer=msg.dst, suspected=True))
             self.sim.call_soon(receipt.injected.set_result, None)
-            return receipt
+            return
+        self.stats.incr("net.quarantined")
+        queue.append(("send", msg, receipt, best_effort))
 
+    def _send_now(self, msg: Message, receipt: DeliveryReceipt,
+                  best_effort: bool) -> None:
+        """Inject and transmit one fresh send (``net.msgs`` already
+        counted by the caller — sends count once even when they sat in
+        quarantine first)."""
         inject_end = self._inject(msg)
 
-        self.stats.incr("net.msgs")
         self.stats.incr("net.bytes", msg.size)
         self.stats.incr(f"net.kind.{msg.kind}")
 
@@ -320,7 +379,7 @@ class Network:
             # The send that crosses the crash_after_n_sends threshold is
             # the image's last act: it completes, then the crash fires.
             self.sim.call_soon(self.on_crash, msg.src)
-        if p.reliable and not best_effort:
+        if self.params.reliable and not best_effort:
             link = (msg.src, msg.dst)
             lseq = self._tx_next.get(link, 0)
             self._tx_next[link] = lseq + 1
@@ -330,7 +389,6 @@ class Network:
             self._transmit_reliable(pend, inject_end)
         else:
             self._transmit_unreliable(msg, receipt, inject_end, scripted)
-        return receipt
 
     # ------------------------------------------------------------------ #
     # Shared wire mechanics
@@ -341,12 +399,17 @@ class Network:
         injection ends (source buffer fully read)."""
         p = self.params
         start = max(self.sim.now, float(self._nic_free_at[msg.src]))
+        cost = p.o_send + p.transfer_time(msg.size)
         if self.faults is not None:
             released = self.faults.release_time(msg.src, start)
             if released > start:
                 self.stats.incr("net.nic_stalls")
                 start = released
-        inject_end = start + p.o_send + p.transfer_time(msg.size)
+            if self.faults.stragglers:
+                # A straggling image's NIC serves slower: its heartbeats
+                # and data sends alike stretch by the service factor.
+                cost *= self.faults.service_factor(msg.src, start)
+        inject_end = start + cost
         self._nic_free_at[msg.src] = inject_end
         return inject_end
 
@@ -457,6 +520,13 @@ class Network:
             if scripted or f.roll_drop(msg.src, msg.dst):
                 self._record_drop(msg, inject_end)
                 return
+            if f.gray and f.link_down(msg.src, msg.dst, inject_end):
+                # Partition / flap window: the wire itself is severed.
+                # Pure in time — no rng draw, so scripting a partition
+                # never shifts the drop/duplicate decision stream.
+                self.stats.incr("net.link_down_drops")
+                self._record_drop(msg, inject_end)
+                return
             duplicated = f.roll_duplicate()
         arrive = inject_end + lat + extra
         if self.tracer is not None:
@@ -514,6 +584,10 @@ class Network:
                 dropped = True
             else:
                 dropped = f.roll_drop(msg.src, msg.dst)
+            if not dropped and f.gray and f.link_down(msg.src, msg.dst,
+                                                      inject_end):
+                self.stats.incr("net.link_down_drops")
+                dropped = True
             if not dropped:
                 duplicated = f.roll_duplicate()
         if dropped:
@@ -546,15 +620,23 @@ class Network:
             # protocol state dies with it.
             self._tx_pending.pop((pend.link, pend.lseq), None)
             return
-        if msg.dst in self._dead or msg.dst in self.suspects:
-            # Stop retrying into a downed (or suspected-down) link and
-            # surface a typed failure instead of spinning to the cap.
+        if msg.dst in self._dead or msg.dst in self.confirmed:
+            # Stop retrying into a downed link and surface a typed
+            # failure instead of spinning to the cap.
             self._fail_pending(pend, PeerFailedError(
                 f"retransmission of {msg!r} abandoned after "
                 f"{pend.attempt} attempts: image {msg.dst} is "
-                + ("suspected dead" if msg.dst not in self._dead
+                + ("confirmed dead" if msg.dst not in self._dead
                    else "crashed"),
                 peer=msg.dst, suspected=msg.dst not in self._dead))
+            return
+        if msg.dst in self.suspects:
+            # Merely suspected: park the pending message instead of
+            # burning retries into a possibly-slow peer.  The timer is
+            # not re-armed; unsuspecting re-injects, confirmation fails.
+            self.stats.incr("net.quarantined")
+            pend.timer = None
+            self._quarantine.setdefault(msg.dst, []).append(("pend", pend))
             return
         pend.attempt += 1
         p = self.params
@@ -597,6 +679,12 @@ class Network:
                 and f.roll_ack_drop(msg.dst, msg.src)):
             self.stats.incr("net.ack_drops")
             return
+        if (f is not None and msg.src != msg.dst and f.gray
+                and f.link_down(msg.dst, msg.src, self.sim.now)):
+            # The reverse link is severed: the ack is lost on the wire.
+            self.stats.incr("net.link_down_drops")
+            self.stats.incr("net.ack_drops")
+            return
         ack_delay = self.params.ack_latency_factor * lat
         self.sim.schedule(ack_delay, self._on_ack, pend)
 
@@ -634,6 +722,73 @@ class Network:
                     self.sim.cancel(pend.timer)
                     pend.timer = None
                 del self._tx_pending[key]
+        # Quarantined traffic toward a physically-dead image can never
+        # flush; fail it now.
+        self._fail_quarantined(image, suspected=False)
+
+    # ------------------------------------------------------------------ #
+    # Two-level membership (driven by the failure detector)
+    # ------------------------------------------------------------------ #
+
+    def mark_suspect(self, image: int) -> None:
+        """Level one: the detector suspects ``image``.  New sends toward
+        it park in the quarantine; pending retransmissions park at their
+        next timer."""
+        self.suspects.add(image)
+
+    def unmark_suspect(self, image: int) -> None:
+        """The suspicion was wrong (a heartbeat or any delivery arrived):
+        lift it and flush the quarantined traffic in FIFO order."""
+        self.suspects.discard(image)
+        queue = self._quarantine.pop(image, None)
+        if not queue:
+            return
+        self.stats.incr("net.quarantine_flushed", len(queue))
+        for entry in queue:
+            if entry[0] == "send":
+                _, msg, receipt, best_effort = entry
+                self._send_now(msg, receipt, best_effort)
+            else:
+                pend = entry[1]
+                if pend.acked or pend.msg.src in self._dead:
+                    continue
+                self._transmit_reliable(pend, self._inject(pend.msg))
+
+    def confirm_dead(self, image: int) -> None:
+        """Level two: the detector confirms ``image`` dead.  Future
+        sends fail fast and every quarantined message fails with
+        :class:`PeerFailedError` — the signal the termination layer
+        reconciles on."""
+        if image in self.confirmed:
+            return
+        self.suspects.add(image)
+        self.confirmed.add(image)
+        self._fail_quarantined(image, suspected=True)
+
+    def _fail_quarantined(self, image: int, suspected: bool) -> None:
+        queue = self._quarantine.pop(image, None)
+        if not queue:
+            return
+        verdict = "confirmed dead" if suspected else "crashed"
+        for entry in queue:
+            if entry[0] == "send":
+                _, msg, receipt, _ = entry
+                self.stats.incr("net.peer_failed")
+                if receipt.delivered is not None and not receipt.delivered.done:
+                    receipt.delivered.set_exception(PeerFailedError(
+                        f"quarantined send of {msg!r} abandoned: image "
+                        f"{image} is {verdict}",
+                        peer=image, suspected=suspected))
+                self.sim.call_soon(receipt.injected.set_result, None)
+            else:
+                pend = entry[1]
+                if pend.acked:
+                    continue
+                self._fail_pending(pend, PeerFailedError(
+                    f"quarantined retransmission of {pend.msg!r} abandoned "
+                    f"after {pend.attempt} attempts: image {image} is "
+                    f"{verdict}",
+                    peer=image, suspected=suspected))
 
     def _on_ack(self, pend: _PendingSend) -> None:
         if pend.acked:

@@ -1,40 +1,63 @@
-"""Fail-stop image failures: detection and structured reporting.
+"""Image failures: gray-failure-tolerant detection and reporting.
 
-The failure model (DESIGN §11) is *fail-stop*: a crashed image halts
-instantly, loses its memory, and never sends another byte.  Survivors
-learn about the crash through a heartbeat failure detector, not through
-simulator omniscience — the simulator kills the image's tasks and drops
-its links, but the *runtime* only acts once the detector publishes a
-suspicion.
+The failure model (DESIGN §11-§12) distinguishes *fail-stop* crashes —
+an image halts instantly, loses its memory, never sends another byte —
+from *gray* failures: stragglers and partitions that merely look like
+crashes.  Survivors learn about either through a heartbeat failure
+detector, not simulator omniscience, so the runtime must survive the
+detector being wrong.
 
-Detection
+Two-level membership
+--------------------
+Suspicion comes in two levels with different commitments:
+
+- ``SUSPECTED`` — the detector stopped hearing from the peer.  Cheap
+  and revocable: sends toward the peer park in the transport's
+  quarantine, nothing is reconciled.  *Any* delivery from the peer
+  lifts the suspicion, bumps the peer's incarnation number, and flushes
+  the quarantine.
+- ``CONFIRMED_DEAD`` — the silence outlasted ``confirm_timeout``.
+  Expensive and (almost) irreversible: quarantined sends fail with
+  :class:`~repro.net.transport.PeerFailedError`, finish frames
+  reconcile (exact-subtraction of the peer's counter stamps), and with
+  ``recover=True`` lost shipped functions re-execute on survivors.  If
+  a confirmed peer nevertheless delivers (an extreme gray failure), it
+  is *resurrected*: the reconciliation algebra replays in reverse
+  (:meth:`repro.core.finish.FinishFrame.unreconcile`).
+
+Both sets are shared, monotonic-per-transition views modelling a
+replicated membership service (in the spirit of ULFM's agreement);
+``confirmed`` is always a subset of ``suspects`` so the transport's
+fast path pays one membership check, not two.
+
+Detectors
 ---------
-Every image runs a detector task that, each ``period`` seconds, (a)
-sends a best-effort SHORT heartbeat AM to every peer it does not
-suspect, and (b) times out peers it has not heard from within
-``timeout``.  *Any* delivery refreshes the observer's last-heard clock
-(heartbeats piggyback on regular traffic via the transport's delivery
-hook), so a chatty link never pays heartbeat overhead for detection.
+Every image runs a detector task each ``period`` (stretched by any
+straggler factor on the image itself).  Two suspicion rules are
+available:
 
-The suspect set is a single monotonic set shared by all images and the
-transport.  That is a deliberate idealization: it models a replicated
-membership/agreement service (in the spirit of ULFM's agreement
-primitive) that the paper's runtime would consult; implementing the
-agreement protocol itself is out of scope.  Under fail-stop with
-bounded simulated message delays and ``timeout >> period`` the detector
-is accurate — it only suspects images that actually crashed — unless a
-FaultPlan drops enough consecutive heartbeats to starve a link for a
-full timeout.
+- ``detector="timeout"``: suspect after ``timeout`` of silence — the
+  classic rule, which flaps against a straggler whose service interval
+  exceeds the timeout.
+- ``detector="phi"``: Hayashibara-style phi-accrual — each observer
+  keeps a window of per-peer delivery inter-arrival times and suspects
+  when ``phi = -log10(P(a delivery this late or later))`` crosses
+  ``phi_suspect``.  The window adapts to a straggler's degraded cadence,
+  so sustained slowness stops triggering once observed; fewer than 4
+  samples falls back to the timeout rule.
 
-On suspicion the service reconciles every surviving finish frame
-(:meth:`repro.core.finish.FinishFrame.reconcile_failure`) and, when
-``recover=True``, hands the popped spawn-ledger entries to
-:func:`repro.core.spawn.reexecute_lost` so lost shipped functions rerun
-on their surviving spawners.
+*Confirmation* is time-based for both rules — ``elapsed >
+confirm_timeout`` — because accrued improbability must never be allowed
+to confirm (and reconcile) a peer that is merely slow; only hard
+silence may.  Detection-quality metrics (false-suspicion count,
+suspect/confirm latency for real crashes, time-to-unsuspect) accumulate
+on the service for the ``grayfail`` harness experiment.
 """
 
 from __future__ import annotations
 
+import math
+from collections import deque
 from typing import Optional
 
 from repro.net.active_messages import AMCategory
@@ -76,7 +99,7 @@ def build_failure_error(machine, dead=None, reason: str = "image failure"
     if dead is None:
         dead = set(machine.dead_images)
         if service is not None:
-            dead |= service.suspects
+            dead |= service.confirmed
     dead = tuple(sorted(dead))
     epochs = {}
     for (rank, key), frame in sorted(machine._frames.items()):
@@ -104,17 +127,34 @@ def build_failure_error(machine, dead=None, reason: str = "image failure"
 class FailureConfig:
     """Tuning for the heartbeat failure detector.
 
-    ``period``   — heartbeat interval per image (seconds).
-    ``timeout``  — silence threshold for suspicion; default 10 periods.
-    ``recover``  — re-execute lost shipped functions on survivors
-                   instead of raising :class:`ImageFailureError`.
+    ``period``          — heartbeat interval per image (seconds).
+    ``timeout``         — silence threshold for suspicion under the
+                          ``"timeout"`` rule (and the phi cold-start
+                          fallback); default 10 periods.
+    ``recover``         — re-execute lost shipped functions on survivors
+                          instead of raising :class:`ImageFailureError`.
+    ``detector``        — suspicion rule: ``"timeout"`` or ``"phi"``.
+    ``confirm_timeout`` — silence threshold for CONFIRMED_DEAD (both
+                          rules); default 3 timeouts.  Must exceed
+                          ``timeout`` so confirmation never races
+                          suspicion.
+    ``phi_suspect``     — phi threshold for suspicion (``"phi"`` only);
+                          phi = 8 means the silence had probability
+                          1e-8 under the observed arrival distribution.
+    ``window``          — per-(observer, peer) inter-arrival samples
+                          kept for the phi estimate.
     """
 
-    __slots__ = ("period", "timeout", "recover")
+    __slots__ = ("period", "timeout", "recover", "detector",
+                 "confirm_timeout", "phi_suspect", "window")
 
     def __init__(self, period: float = 5e-5,
                  timeout: Optional[float] = None,
-                 recover: bool = False):
+                 recover: bool = False,
+                 detector: str = "timeout",
+                 confirm_timeout: Optional[float] = None,
+                 phi_suspect: float = 8.0,
+                 window: int = 100):
         if period <= 0:
             raise ValueError(f"heartbeat period must be positive, got {period}")
         if timeout is None:
@@ -124,13 +164,35 @@ class FailureConfig:
                 f"timeout ({timeout}) must exceed the heartbeat period "
                 f"({period}) or every image is suspected instantly"
             )
+        if detector not in ("timeout", "phi"):
+            raise ValueError(
+                f"detector must be 'timeout' or 'phi', got {detector!r}")
+        if confirm_timeout is None:
+            confirm_timeout = 3.0 * timeout
+        if confirm_timeout <= timeout:
+            raise ValueError(
+                f"confirm_timeout ({confirm_timeout}) must exceed the "
+                f"suspicion timeout ({timeout}): confirmation is the "
+                "irreversible level"
+            )
+        if phi_suspect <= 0:
+            raise ValueError(
+                f"phi_suspect must be positive, got {phi_suspect}")
+        if window < 4:
+            raise ValueError(
+                f"phi needs a window of at least 4 samples, got {window}")
         self.period = period
         self.timeout = timeout
         self.recover = recover
+        self.detector = detector
+        self.confirm_timeout = confirm_timeout
+        self.phi_suspect = phi_suspect
+        self.window = int(window)
 
     def __repr__(self) -> str:
         return (f"FailureConfig(period={self.period}, timeout={self.timeout}, "
-                f"recover={self.recover})")
+                f"recover={self.recover}, detector={self.detector!r}, "
+                f"confirm_timeout={self.confirm_timeout})")
 
 
 _HB = "fail.hb"
@@ -145,15 +207,37 @@ class FailureService:
         self.recover = config.recover
         n = machine.n_images
         self.n_images = n
-        # Shared with the transport: sends to suspects fail fast.
+        # Shared with the transport: sends to merely-suspected peers
+        # park in its quarantine, sends to confirmed peers fail fast.
         self.suspects: set[int] = machine.network.suspects
-        #: membership generation; bumped on every new suspicion so
-        #: detector waves snapshotting it can notice a mid-wave change
+        self.confirmed: set[int] = machine.network.confirmed
+        #: membership generation; bumped on every transition (suspect,
+        #: unsuspect, confirm, resurrect) so detector waves snapshotting
+        #: it can notice a mid-wave change
         self.gen = 0
+        #: per-image incarnation numbers: bumped each time an image
+        #: returns from wrongful suspicion/confirmation, so stale state
+        #: about the previous "life" is distinguishable
+        self.incarnations = [0] * n
+        #: images that were suspected (or confirmed) and came back
+        self.recovered: set[int] = set()
         #: per-dead-image counted-send orphan totals (filled at reconcile)
         self.orphans: dict[int, int] = {}
         # last_heard[observer][peer] = sim time of last delivery
         self._last_heard = [[0.0] * n for _ in range(n)]
+        # phi-accrual inter-arrival windows, lazily created per
+        # (observer, peer) directed pair
+        self._phi = config.detector == "phi"
+        self._intervals: dict[tuple, deque] = {}
+        #: when each currently-suspected image was suspected
+        self.suspected_at: dict[int, float] = {}
+        # --- detector-quality metrics (grayfail experiment) ---------- #
+        #: crash -> suspicion lag per real crash detected
+        self.suspect_latency: list[float] = []
+        #: crash -> confirmation lag per real crash confirmed
+        self.confirm_latency: list[float] = []
+        #: suspicion -> unsuspicion lag per false suspicion healed
+        self.time_to_unsuspect: list[float] = []
         self._tasks: list[Task] = []
         self._stopped = False
 
@@ -188,8 +272,11 @@ class FailureService:
 
     def check_stop(self) -> None:
         """Stop heartbeating once every main program is finished or
-        belongs to a dead/suspected image; otherwise the periodic timers
-        would keep the event queue alive forever."""
+        belongs to a dead/confirmed image; otherwise the periodic timers
+        would keep the event queue alive forever.  Merely-suspected
+        owners do NOT count as finished: a straggler's main is still
+        running, and stopping the detectors would strand it suspected
+        forever (no heartbeat could ever unsuspect it)."""
         if self._stopped:
             return
         machine = self.machine
@@ -198,7 +285,7 @@ class FailureService:
                 continue
             owner = task.owner
             if owner is not None and (owner in machine.dead_images
-                                      or owner in self.suspects):
+                                      or owner in self.confirmed):
                 continue
             return
         self.stop()
@@ -213,56 +300,212 @@ class FailureService:
     # ------------------------------------------------------------------ #
 
     def _on_delivery(self, src: int, dst: int) -> None:
-        self._last_heard[dst][src] = self.machine.sim.now
+        now = self.machine.sim.now
+        if self._phi:
+            prev = self._last_heard[dst][src]
+            if now > prev:
+                key = (dst, src)
+                window = self._intervals.get(key)
+                if window is None:
+                    window = self._intervals[key] = deque(
+                        maxlen=self.config.window)
+                window.append(now - prev)
+        self._last_heard[dst][src] = now
+        # A delivery IS life: lift any wrong verdict about the sender
+        # before the message's own callbacks run (the transport calls
+        # this hook first), so its counter stamps land un-reconciled.
+        if src in self.confirmed:
+            if src not in self.machine.dead_images:
+                self.resurrect(src)
+        elif src in self.suspects:
+            self.unsuspect(src)
+
+    def _phi_value(self, observer: int, peer: int, elapsed: float) -> float:
+        """Hayashibara phi: -log10 of the probability that a delivery
+        gap this long or longer occurs under the observed inter-arrival
+        distribution (normal approximation, std floored at a quarter of
+        the mean so a metronomic sender is not suspected on microscopic
+        jitter)."""
+        window = self._intervals.get((observer, peer))
+        if window is None or len(window) < 4:
+            # Cold start: too little history for an estimate — fall
+            # back to the fixed timeout rule.
+            return math.inf if elapsed > self.config.timeout else 0.0
+        mean = sum(window) / len(window)
+        var = sum((x - mean) ** 2 for x in window) / len(window)
+        std = max(math.sqrt(var), 0.25 * mean, 1e-12)
+        y = (elapsed - mean) / std
+        p_later = 0.5 * math.erfc(y / math.sqrt(2.0))
+        return -math.log10(max(p_later, 1e-30))
 
     def _detector(self, rank: int):
         machine = self.machine
         sim = machine.sim
-        period = self.config.period
-        timeout = self.config.timeout
+        cfg = self.config
+        period = cfg.period
+        timeout = cfg.timeout
+        confirm_timeout = cfg.confirm_timeout
+        phi_suspect = cfg.phi_suspect
+        phi = self._phi
         heard = self._last_heard[rank]
+        faults = machine.network.faults
+        straggling = faults is not None and bool(faults.stragglers)
         while True:
-            yield Delay(period)
+            delay = period
+            if straggling:
+                # A straggling image's own detector ticks slower too —
+                # its heartbeats go out at the degraded cadence.
+                delay *= faults.service_factor(rank, sim.now)
+            yield Delay(delay)
             now = sim.now
             for peer in range(self.n_images):
-                if peer == rank or peer in self.suspects:
+                if peer == rank or peer in self.confirmed:
                     continue
-                if now - heard[peer] > timeout:
+                elapsed = now - heard[peer]
+                if peer in self.suspects:
+                    # Level two is time-based for BOTH rules: only hard
+                    # silence may trigger the irreversible verdict.
+                    if elapsed > confirm_timeout:
+                        self.confirm(peer)
+                    continue
+                if phi:
+                    if self._phi_value(rank, peer, elapsed) >= phi_suspect:
+                        self.publish(peer)
+                elif elapsed > timeout:
                     self.publish(peer)
             for peer in range(self.n_images):
-                if peer == rank or peer in self.suspects:
+                if peer == rank or peer in self.confirmed:
                     continue
+                # Suspected-but-unconfirmed peers keep receiving
+                # heartbeats: these probes (best-effort, so they bypass
+                # the quarantine) are what lets a falsely-suspected peer
+                # answer back and be unsuspected after a partition heals.
                 machine.am.request_nb(
                     rank, peer, _HB, category=AMCategory.SHORT,
                     best_effort=True, kind="fail.hb",
                 )
             machine.stats.incr("fail.hb_rounds")
 
+    # ------------------------------------------------------------------ #
+    # Membership transitions
+    # ------------------------------------------------------------------ #
+
     def publish(self, peer: int) -> None:
-        """Record ``peer`` in the (shared, monotonic) suspect set and
-        reconcile the survivors' finish frames."""
+        """Level one — SUSPECTED: park traffic toward ``peer`` in the
+        transport quarantine.  Revocable; nothing is reconciled yet."""
         if peer in self.suspects:
             return
-        self.suspects.add(peer)
-        self.gen += 1
         machine = self.machine
+        machine.network.mark_suspect(peer)
+        self.gen += 1
+        now = machine.sim.now
+        self.suspected_at[peer] = now
         machine.stats.incr("fail.suspected")
+        t_dead = machine.dead_at.get(peer)
+        if t_dead is None:
+            machine.stats.incr("fail.false_suspected")
+        else:
+            self.suspect_latency.append(now - t_dead)
         if machine.tracer is not None:
-            machine.tracer.instant(peer, "fail.suspected", machine.sim.now,
+            machine.tracer.instant(peer, "fail.suspected", now,
                                    args={"gen": self.gen})
-        machine._on_suspect(peer)
         self.check_stop()
+
+    def confirm(self, peer: int) -> None:
+        """Level two — CONFIRMED_DEAD: fail the quarantined traffic and
+        reconcile the survivors' finish frames."""
+        if peer in self.confirmed:
+            return
+        machine = self.machine
+        machine.network.confirm_dead(peer)
+        self.gen += 1
+        now = machine.sim.now
+        machine.stats.incr("fail.confirmed")
+        t_dead = machine.dead_at.get(peer)
+        if t_dead is None:
+            machine.stats.incr("fail.false_confirmed")
+        else:
+            self.confirm_latency.append(now - t_dead)
+        if machine.tracer is not None:
+            machine.tracer.instant(peer, "fail.confirmed", now,
+                                   args={"gen": self.gen})
+        machine._on_confirm(peer)
+        self.check_stop()
+
+    def unsuspect(self, peer: int) -> None:
+        """A merely-suspected peer delivered: the suspicion was false.
+        Bump its incarnation and flush the quarantined traffic."""
+        if peer in self.confirmed or peer in self.machine.dead_images:
+            return
+        machine = self.machine
+        self.gen += 1
+        self.incarnations[peer] += 1
+        self.recovered.add(peer)
+        t0 = self.suspected_at.pop(peer, None)
+        now = machine.sim.now
+        if t0 is not None:
+            self.time_to_unsuspect.append(now - t0)
+        machine.stats.incr("fail.unsuspected")
+        if machine.tracer is not None:
+            machine.tracer.instant(peer, "fail.unsuspected", now,
+                                   args={"gen": self.gen,
+                                         "incarnation": self.incarnations[peer]})
+        machine._on_heal(peer)
+        # Flush after the heal: quarantined deliveries must find the
+        # frames un-reconciled when their counter callbacks run.
+        machine.network.unmark_suspect(peer)
+
+    def resurrect(self, peer: int) -> None:
+        """A *confirmed* peer delivered — the irreversible verdict was
+        wrong after all.  Undo it: replay the reconciliation algebra in
+        reverse so the peer's counter stamps count again."""
+        machine = self.machine
+        if peer in machine.dead_images:
+            return  # physically dead; a live delivery cannot happen
+        self.confirmed.discard(peer)
+        self.suspects.discard(peer)
+        self.gen += 1
+        self.incarnations[peer] += 1
+        self.recovered.add(peer)
+        t0 = self.suspected_at.pop(peer, None)
+        now = machine.sim.now
+        if t0 is not None:
+            self.time_to_unsuspect.append(now - t0)
+        machine.stats.incr("fail.resurrected")
+        if machine.tracer is not None:
+            machine.tracer.instant(peer, "fail.resurrected", now,
+                                   args={"gen": self.gen,
+                                         "incarnation": self.incarnations[peer]})
+        machine._on_heal(peer)
 
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
 
     def alive_members(self, team) -> list[int]:
-        """Team members not currently suspected, in world-rank order."""
+        """Team members not currently suspected, in world-rank order —
+        the responsiveness view (who to pick as a coordinator, who to
+        wait on synchronously).  NOT a soundness boundary: use
+        :meth:`required_members` for any quorum whose completeness a
+        correctness argument depends on."""
         return [r for r in sorted(team) if r not in self.suspects]
 
+    def required_members(self, team) -> list[int]:
+        """Team members a finish verdict must account for: everyone not
+        CONFIRMED dead.  A merely-suspected member is alive until proven
+        otherwise and still holds un-reconciled counters; summing
+        ``sent - completed`` over a subset that excludes it is not a
+        consistent cut — its unmatched completions and sends flow
+        through the survivors' counters with opposite signs and can
+        cancel to a spurious zero verdict while it holds live work.
+        Confirmed deaths are excluded exactly because
+        ``reconcile_failure`` folded their stamps into the survivors."""
+        return [r for r in sorted(team) if r not in self.confirmed]
+
     def has_failed(self, team) -> bool:
-        return any(r in self.suspects for r in team)
+        """Whether any team member is CONFIRMED dead (mere suspicion is
+        revocable and must not abort anything)."""
+        return any(r in self.confirmed for r in team)
 
 
 def _heartbeat_handler(ctx) -> None:

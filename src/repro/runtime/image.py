@@ -125,20 +125,63 @@ class Image:
         failure = self.machine.failure
         return team.alive_members(failure.suspects if failure else ())
 
+    def suspected_images(self, team: Optional[Team] = None) -> list[int]:
+        """World ranks currently SUSPECTED but not yet confirmed dead —
+        quarantined, possibly just slow (DESIGN §12)."""
+        failure = self.machine.failure
+        if failure is None:
+            return []
+        team = team if team is not None else self.team_world
+        return [r for r in sorted(team)
+                if r in failure.suspects and r not in failure.confirmed]
+
+    def confirmed_dead_images(self, team: Optional[Team] = None) -> list[int]:
+        """World ranks whose death the detector has CONFIRMED (silent
+        past the confirmation timeout; reconciled out of finish)."""
+        failure = self.machine.failure
+        if failure is None:
+            return []
+        team = team if team is not None else self.team_world
+        return [r for r in sorted(team) if r in failure.confirmed]
+
+    def recovered_images(self, team: Optional[Team] = None) -> list[int]:
+        """World ranks that were suspected (or even confirmed) and later
+        proved alive — each carries a bumped incarnation number."""
+        failure = self.machine.failure
+        if failure is None:
+            return []
+        team = team if team is not None else self.team_world
+        return [r for r in sorted(team) if r in failure.recovered]
+
+    def image_incarnation(self, world_rank: int) -> int:
+        """Incarnation number of ``world_rank``: bumped each time a
+        suspicion against it is retracted (0 = never falsely suspected)."""
+        failure = self.machine.failure
+        if failure is None:
+            return 0
+        return failure.incarnations[world_rank]
+
     # ------------------------------------------------------------------ #
     # Computation
     # ------------------------------------------------------------------ #
 
     def compute(self, seconds: float) -> Generator[Any, Any, None]:
         """Model ``seconds`` of local computation (accrues busy time,
-        which the harness turns into load-balance and efficiency plots)."""
+        which the harness turns into load-balance and efficiency plots).
+        An active straggler fault on this image stretches the wall-clock
+        duration by its service factor — the *work* is unchanged, the
+        image is just slow (gray failure, DESIGN §12)."""
         if seconds < 0:
             raise ValueError(f"negative compute time {seconds!r}")
         self.machine.busy.add(self.rank, seconds)
+        faults = self.machine.network.faults
+        wall = seconds
+        if faults is not None and faults.stragglers:
+            wall = seconds * faults.service_factor(self.rank, self.now)
         if self.machine.tracer is not None:
             self.machine.tracer.span(self.rank, "compute", self.now,
-                                     seconds)
-        yield Delay(seconds)
+                                     wall)
+        yield Delay(wall)
 
     # ------------------------------------------------------------------ #
     # Asynchronous operations (paper §II-C)

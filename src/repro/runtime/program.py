@@ -111,6 +111,9 @@ class Machine:
         #: world ranks killed by fail-stop crash injection (ground truth;
         #: survivors only learn of a death through the failure detector)
         self.dead_images: set[int] = set()
+        #: ground-truth crash times, {rank: sim time} — the detector's
+        #: quality metrics (suspect/confirm latency) measure against this
+        self.dead_at: dict[int, float] = {}
         #: heartbeat failure detector, or None (crashes then wedge the
         #: machine and surface through the liveness watchdog instead)
         self.failure = None
@@ -122,10 +125,14 @@ class Machine:
                       else FailureConfig())
             self.failure = FailureService(self, config)
         self._failure_started = False
-        # Crash scripts: scheduled kills and send-count triggers.
+        # Crash scripts: scheduled kills and send-count triggers.  Fault
+        # *menus* (crash_choice / partition_choice) resolve against the
+        # schedule source first, so crash and partition timing live in
+        # the same recorded choice sequence as message ordering.
         self.network.on_crash = self.kill_image
         if faults is not None:
-            for image, t_crash in sorted(faults.crashes.items()):
+            faults.resolve_choices(self.schedule_source)
+            for image, t_crash in sorted(faults.scheduled_crashes().items()):
                 self.sim.schedule_at(t_crash, self.kill_image, image)
 
         # Team ids are allocated per machine (not from Team's process-wide
@@ -264,6 +271,7 @@ class Machine:
             raise ValueError(f"cannot crash image {rank}: not in "
                              f"[0, {self.n_images})")
         self.dead_images.add(rank)
+        self.dead_at[rank] = self.sim.now
         killed = self.sim.kill_owner(rank)
         self.network.mark_dead(rank)
         self.stats.incr("fail.crashes")
@@ -273,14 +281,16 @@ class Machine:
         if self.failure is not None:
             self.failure.notify_death(rank)
 
-    def _on_suspect(self, peer: int) -> None:
-        """Failure-service callback: a new suspect was published.
+    def _on_confirm(self, peer: int) -> None:
+        """Failure-service callback: a suspect was CONFIRMED dead.
         Reconcile every surviving image's finish frames and, with
         recovery enabled, re-execute the lost spawns from their
-        surviving senders' ledgers."""
+        surviving senders' ledgers.  Mere suspicion never reaches
+        here — reconciliation on a false suspicion would double-count
+        when the straggler's delayed messages eventually land."""
         service = self.failure
         for (rank, _key), frame in sorted(self._frames.items()):
-            if (rank in self.dead_images or rank in service.suspects):
+            if (rank in self.dead_images or rank in service.confirmed):
                 continue
             entries = frame.reconcile_failure(peer)
             if entries:
@@ -290,6 +300,19 @@ class Machine:
                     from repro.core.spawn import reexecute_lost
 
                     reexecute_lost(self, rank, frame, entries)
+
+    def _on_heal(self, peer: int) -> None:
+        """Failure-service callback: a suspicion turned out to be false
+        (the peer spoke again).  Replay the compensating algebra: every
+        frame that reconciled ``peer`` away adds its exact-subtraction
+        stamp back, so the healed peer's counts are neither dropped nor
+        double-subtracted (DESIGN §12)."""
+        service = self.failure
+        for (rank, _key), frame in sorted(self._frames.items()):
+            if rank in self.dead_images:
+                continue
+            frame.unreconcile(peer)
+        service.orphans.pop(peer, None)
 
     # ------------------------------------------------------------------ #
     # Services for the core operation modules

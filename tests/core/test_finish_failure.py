@@ -125,9 +125,9 @@ class TestReconcileFailure:
 
 
 class TestLazyFrameSeeding:
-    def test_frame_created_after_suspicion_starts_reconciled(self):
+    def test_frame_created_after_confirmation_starts_reconciled(self):
         machine = Machine(4, seed=0, failure_detection=FailureConfig())
-        machine.failure.suspects.add(3)
+        machine.network.confirm_dead(3)
         fr = FinishFrame(machine, 0, machine.team_world, 5)
         assert 3 in fr.reconciled
         fr.on_delivered(fr.on_send(dst=3))

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.net.faults import FaultPlan, NicStall
+from repro.net.faults import FaultPlan, LinkFlap, NicStall, Partition, Straggler
 
 
 class TestValidation:
@@ -170,3 +170,139 @@ class TestScriptedDropsAndCloning:
         # same scripted-drop script, virgin counts
         assert [rebuilt.take_scripted_drop("coll.up") for _ in range(4)] \
             == [False, True, False, True]
+
+
+class TestGrayFailures:
+    """Gray-failure primitives: validation, the time-pure queries, and
+    the clone / config round-trip guarantees the explorer leans on
+    (mirrors the drop_nth regression suite)."""
+
+    def gray_plan(self):
+        return (FaultPlan(seed=9)
+                .straggle(1, 10.0, degrade_at=1e-4, recover_at=5e-4)
+                .partition([[0, 1], [2, 3]], 2e-4, heal_at=8e-4)
+                .flap_link(0, 1, 1e-4, down_for=5e-5, up_for=5e-5, until=1e-3)
+                .crash_choice(2, [1e-4, 2e-4])
+                .partition_choice([[0], [1]], [3e-4], heal_after=2e-4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Straggler(image=0, factor=0.5)  # must slow, not speed up
+        with pytest.raises(ValueError):
+            Straggler(image=0, factor=2.0, degrade_at=1.0, recover_at=0.5)
+        with pytest.raises(ValueError):
+            Partition(groups=((0, 1),), start=0.0)  # one group splits nothing
+        with pytest.raises(ValueError):
+            Partition(groups=((0, 1), (1, 2)), start=0.0)  # overlap
+        with pytest.raises(ValueError):
+            Partition(groups=((0,), (1,)), start=1.0, heal_at=0.5)
+        with pytest.raises(ValueError):
+            LinkFlap(0, 0, 0.0, 1.0, 1.0)  # loopback never faults
+        with pytest.raises(ValueError):
+            LinkFlap(0, 1, 0.0, down_for=0.0, up_for=1.0)
+        with pytest.raises(TypeError):
+            FaultPlan(stragglers=[(1, 10.0)])
+
+    def test_service_factor_window(self):
+        plan = self.gray_plan()
+        assert plan.service_factor(1, 0.0) == 1.0     # before degrade_at
+        assert plan.service_factor(1, 2e-4) == 10.0   # inside the window
+        assert plan.service_factor(1, 5e-4) == 1.0    # recovered (half-open)
+        assert plan.service_factor(0, 2e-4) == 1.0    # other image untouched
+        # overlapping windows take the worst factor
+        worst = FaultPlan().straggle(0, 2.0).straggle(0, 8.0, recover_at=1.0)
+        assert worst.service_factor(0, 0.5) == 8.0
+        assert worst.service_factor(0, 2.0) == 2.0
+
+    def test_partition_severs_cross_group_links_only(self):
+        plan = self.gray_plan()
+        assert plan.link_down(0, 2, 3e-4)       # cross-group, active
+        assert plan.link_down(2, 0, 3e-4)       # both directions
+        assert not plan.link_down(1, 0, 3e-4)   # same group (flap is 0->1)
+        assert not plan.link_down(2, 3, 3e-4)   # same group
+        assert not plan.link_down(0, 2, 1e-4)   # before start
+        assert not plan.link_down(0, 2, 8e-4)   # healed (half-open)
+        # unlisted images are unaffected
+        wide = FaultPlan().partition([[0], [1]], 0.0)
+        assert not wide.link_down(0, 5, 1.0) and not wide.link_down(5, 0, 1.0)
+
+    def test_flap_cadence(self):
+        plan = FaultPlan().flap_link(0, 1, 1e-4, down_for=5e-5, up_for=5e-5,
+                                     until=1e-3)
+        assert not plan.link_down(0, 1, 0.0)      # before start
+        assert plan.link_down(0, 1, 1.2e-4)       # first down window
+        assert not plan.link_down(0, 1, 1.6e-4)   # first up window
+        assert plan.link_down(0, 1, 2.2e-4)       # second down window
+        assert not plan.link_down(0, 1, 2e-3)     # expired
+        assert not plan.link_down(1, 0, 1.2e-4)   # directed
+
+    def test_queries_draw_no_rng(self):
+        """service_factor/link_down are pure in time: interleaving them
+        must not shift the drop decision stream."""
+        plan_a = self.gray_plan()
+        plan_b = FaultPlan.from_config(plan_a.to_config())
+        seq_a = [plan_a.roll_drop(0, 1) for _ in range(30)]
+        seq_b = []
+        for _ in range(30):
+            plan_b.link_down(0, 2, 3e-4)
+            plan_b.service_factor(1, 2e-4)
+            seq_b.append(plan_b.roll_drop(0, 1))
+        assert seq_a == seq_b
+
+    def test_clone_isolates_gray_state(self):
+        plan = self.gray_plan()
+        fresh = plan.clone()
+        fresh.straggle(2, 4.0).flap_link(2, 3, 0.0, 1e-5, 1e-5)
+        fresh.crash_choice(3, [5e-4])
+        assert plan.service_factor(2, 1.0) == 1.0
+        assert not plan.link_down(2, 3, 5e-6)
+        assert 3 not in plan.crash_choices
+        plan.partition_choice([[2], [3]], [1e-4])
+        assert len(fresh.partition_choices) == 1
+
+    def test_clone_drops_per_run_resolution(self):
+        """Menu picks are per-run state: a clone starts unresolved."""
+        class PickOne:
+            def choose(self, point):
+                return 1
+        plan = self.gray_plan()
+        plan.resolve_choices(PickOne())
+        assert plan.scheduled_crashes() == {2: 1e-4}
+        assert plan.link_down(0, 1, 3.6e-4)  # menu partition severs 0|1
+        fresh = plan.clone()
+        assert fresh.scheduled_crashes() == {}
+        assert not fresh.link_down(0, 1, 3.6e-4)
+        assert fresh.to_config() == plan.to_config()  # menus survive
+
+    def test_resolve_without_source_means_no_fault(self):
+        plan = self.gray_plan()
+        plan.resolve_choices(None)
+        assert plan.scheduled_crashes() == {}
+        assert not plan.link_down(0, 1, 3.6e-4)
+
+    def test_gray_config_round_trip(self):
+        plan = self.gray_plan()
+        rebuilt = FaultPlan.from_config(plan.to_config())
+        assert rebuilt.to_config() == plan.to_config()
+        # the rebuilt plan makes identical time-pure decisions
+        for t in (0.0, 1.2e-4, 2e-4, 3e-4, 8e-4, 2e-3):
+            assert rebuilt.link_down(0, 2, t) == plan.link_down(0, 2, t)
+            assert rebuilt.service_factor(1, t) == plan.service_factor(1, t)
+        # JSON-safe: None heal/recover fields survive an actual dump
+        import json
+        assert (FaultPlan.from_config(
+            json.loads(json.dumps(plan.to_config()))).to_config()
+            == plan.to_config())
+
+    def test_gray_fields_mark_plan_active(self):
+        assert FaultPlan().straggle(0, 2.0).active
+        assert FaultPlan().partition([[0], [1]], 0.0).active
+        assert FaultPlan().flap_link(0, 1, 0.0, 1.0, 1.0).active
+        assert FaultPlan().crash_choice(0, [1.0]).active
+        assert FaultPlan().partition_choice([[0], [1]], [1.0]).active
+        assert not FaultPlan().active
+
+    def test_describe_mentions_gray_configuration(self):
+        text = repr(self.gray_plan())
+        assert "stragglers=1" in text and "partitions=1" in text
+        assert "flaps=1" in text and "crash_choices" in text

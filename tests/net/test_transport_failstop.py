@@ -76,9 +76,9 @@ class TestFailFastSend:
         sim.run()
         assert receipt.injected.done  # local completion still resolves
 
-    def test_send_to_suspect_fails_with_suspected_flag(self):
+    def test_send_to_confirmed_image_fails_with_suspected_flag(self):
         sim, net = make_net()
-        net.suspects.add(3)
+        net.confirm_dead(3)
         receipt = net.send(Message(0, 3, 100, None), want_ack=True)
         exc = receipt.delivered.exception()
         assert isinstance(exc, PeerFailedError)
@@ -95,17 +95,134 @@ class TestFailFastSend:
         sim.run()
         assert len(delivered) == 1
 
-    def test_reliable_retransmission_stops_on_suspicion(self):
+    def test_reliable_retransmission_parks_on_suspicion(self):
         """A reliably-sent message whose destination becomes suspected
-        mid-retry surfaces PeerFailedError at the next timer instead of
-        spinning to the retry cap."""
+        mid-retry parks at the next timer instead of spinning to the
+        retry cap; confirmation then fails it with PeerFailedError."""
         plan = FaultPlan(drop=0.999, seed=1)
         sim, net = make_net(faults=plan, reliable=True, retry_cap=50)
         receipt = net.send(Message(0, 1, 100, None), want_ack=True)
-        sim.schedule_at(1e-4, net.suspects.add, 1)
+        sim.schedule_at(1e-4, net.mark_suspect, 1)
+        sim.schedule_at(2e-4, net.confirm_dead, 1)
         sim.run()
-        assert isinstance(receipt.delivered.exception(), PeerFailedError)
+        exc = receipt.delivered.exception()
+        assert isinstance(exc, PeerFailedError)
+        assert exc.suspected is True
         assert net.stats["net.retransmits"] < 50
+        assert net.stats["net.quarantined"] == 1
+
+
+class TestQuarantine:
+    """Sends to merely-suspected peers park instead of failing: flushed
+    in order on unsuspect, failed only on confirmation (DESIGN §12)."""
+
+    def test_parked_send_flushes_on_unsuspect(self):
+        sim, net = make_net()
+        delivered = []
+        net.mark_suspect(2)
+        receipt = net.send(Message(0, 2, 100, None, on_deliver=delivered.append),
+                           want_ack=True)
+        assert net.stats["net.quarantined"] == 1
+        sim.schedule_at(1e-4, net.unmark_suspect, 2)
+        sim.run()
+        assert len(delivered) == 1
+        assert receipt.delivered.done
+        assert receipt.delivered.exception() is None
+        assert net.stats["net.quarantine_flushed"] == 1
+
+    def test_flush_preserves_fifo_order(self):
+        sim, net = make_net()
+        order = []
+        net.mark_suspect(1)
+        for tag in ("a", "b", "c"):
+            net.send(Message(0, 1, 100, tag,
+                             on_deliver=lambda m: order.append(m.payload)))
+        sim.schedule_at(1e-4, net.unmark_suspect, 1)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_overflow_fails_newest_send(self):
+        sim, net = make_net()
+        net.quarantine_cap = 1
+        net.mark_suspect(1)
+        first = net.send(Message(0, 1, 100, None), want_ack=True)
+        second = net.send(Message(0, 1, 100, None), want_ack=True)
+        exc = second.delivered.exception()
+        assert isinstance(exc, PeerFailedError) and exc.suspected is True
+        assert not first.delivered.done  # the old one is still parked
+        assert net.stats["net.quarantine_overflow"] == 1
+
+    def test_confirmation_fails_parked_sends(self):
+        sim, net = make_net()
+        net.mark_suspect(3)
+        receipt = net.send(Message(0, 3, 100, None), want_ack=True)
+        net.confirm_dead(3)
+        exc = receipt.delivered.exception()
+        assert isinstance(exc, PeerFailedError)
+        assert exc.peer == 3 and exc.suspected is True
+        sim.run()
+        assert receipt.injected.done  # local completion still resolves
+
+    def test_mark_dead_fails_parked_sends_as_crash(self):
+        sim, net = make_net()
+        net.mark_suspect(3)
+        receipt = net.send(Message(0, 3, 100, None), want_ack=True)
+        net.mark_dead(3)
+        exc = receipt.delivered.exception()
+        assert isinstance(exc, PeerFailedError) and exc.suspected is False
+
+    def test_confirm_dead_idempotent_and_implies_suspected(self):
+        sim, net = make_net()
+        net.confirm_dead(1)
+        net.confirm_dead(1)
+        assert 1 in net.suspects and 1 in net.confirmed
+
+
+class TestFlappingLinks:
+    """Retransmit-abandon and heal-resume paths under flapping links."""
+
+    def test_permanent_down_window_exhausts_retries_with_link_stats(self):
+        plan = FaultPlan().flap_link(0, 1, 0.0, down_for=1.0, up_for=1e-9)
+        sim, net = make_net(faults=plan, reliable=True, retry_cap=3)
+        net.send(Message(0, 1, 100, None), want_ack=True)
+        with pytest.raises(RetryExhaustedError) as ei:
+            sim.run()
+        exc = ei.value
+        assert exc.link == (0, 1)
+        assert exc.attempts == 3
+        assert exc.link_stats[(0, 1)] == 3
+        # the original plus all three retries were lost to the window
+        assert net.stats["net.link_down_drops"] == 4
+
+    def test_link_heals_mid_backoff_and_resumes(self):
+        """A data link down at first transmission recovers during the
+        retransmit backoff; the message is delivered exactly once."""
+        plan = FaultPlan().flap_link(0, 1, 0.0, down_for=5e-5, up_for=1.0)
+        sim, net = make_net(faults=plan, reliable=True, retry_cap=20)
+        delivered = []
+        receipt = net.send(Message(0, 1, 100, None,
+                                   on_deliver=delivered.append),
+                           want_ack=True)
+        sim.run()
+        assert len(delivered) == 1
+        assert receipt.delivered.exception() is None
+        assert net.stats["net.retransmits"] >= 1
+
+    def test_reverse_link_flap_loses_ack_dedup_holds(self):
+        """The ack link flaps: the delivered copy's ack is lost, the
+        retransmitted copy is suppressed by rx dedup (the handler runs
+        exactly once) and its re-ack completes the send after heal."""
+        plan = FaultPlan().flap_link(1, 0, 0.0, down_for=1e-4, up_for=1.0)
+        sim, net = make_net(faults=plan, reliable=True, retry_cap=50)
+        delivered = []
+        receipt = net.send(Message(0, 1, 100, None,
+                                   on_deliver=delivered.append),
+                           want_ack=True)
+        sim.run()
+        assert len(delivered) == 1  # rx dedup held through the flap
+        assert receipt.delivered.exception() is None
+        assert net.stats["net.dups_suppressed"] >= 1
+        assert net.stats["net.link_down_drops"] >= 1
 
 
 class TestRetryExhaustedDiagnostics:
