@@ -1,0 +1,147 @@
+"""Weak-scaling benchmark: paper-size image counts in one process.
+
+The paper's experiments run on 4096-8192 cores (§IV); the simulator has
+to weak-scale to the same image counts for those studies to be
+reproducible on one machine.  This bench measures the two quantities
+DESIGN.md §13 optimizes:
+
+- ``bytes_per_image`` — tracemalloc-attributed heap growth of
+  constructing a ``Machine(p)``, divided by ``p``.  Sparse per-peer
+  state and lazy per-image machinery keep this flat (O(1) per image)
+  instead of growing with ``p`` (O(p) per image = O(p^2) total).
+- ``startup_s_per_image`` — wall-clock ``Machine(p)`` construction time
+  per image, which lazy materialization turns into "pay only for
+  images you actually run".
+
+It also runs the two paper applications (UTS §IV-C, RandomAccess §IV-B)
+at the largest point and records determinism fingerprints, so the
+regression gate notices if scaling work ever changes *what* the
+simulator computes rather than just how much memory it needs.
+
+Bytes are machine-portable, so ``compare_bench.py`` gates
+``bytes_per_image`` directly against the committed reference (startup
+times are recorded for the record but not gated — they are wall-clock).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+#: footprint measurement points (always run; construction is cheap)
+FOOTPRINT_POINTS = (64, 1024, 8192)
+#: app weak-scale points: (quick, full)
+APP_POINT_QUICK = 256
+APP_POINT_FULL = 8192
+
+#: pre-PR footprint on the reference machine (dense per-peer state,
+#: eager per-image construction), recorded with the same protocol
+#: before DESIGN.md §13 landed.  Kept for the table in EXPERIMENTS.md;
+#: the CI gate compares against the committed BENCH_simulator.json.
+PRE_PR_BYTES_PER_IMAGE = {64: 1573, 1024: 1447, 8192: 1462}
+PRE_PR_STARTUP_S_PER_IMAGE = {64: 9.715e-5, 1024: 9.363e-5, 8192: 9.929e-5}
+
+
+def measure_footprint(n_images: int) -> dict:
+    """tracemalloc + perf_counter footprint of ``Machine(n_images)``.
+
+    The protocol (start tracing, construct, read traced current) must
+    stay byte-for-byte identical to the one that recorded the pre-PR
+    baseline, or the comparison is meaningless.
+    """
+    from repro.runtime.program import Machine
+    from repro.runtime.sizeof import deep_sizeof
+
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    machine = Machine(n_images, seed=1)
+    startup_s = time.perf_counter() - t0
+    current, _peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    # Independent cross-check: walk the object graph hanging off the
+    # machine itself (excludes allocator slack tracemalloc sees).
+    deep_bytes = deep_sizeof(machine)
+    return {
+        "n_images": n_images,
+        "bytes_per_image": current / n_images,
+        "deep_bytes_per_image": deep_bytes / n_images,
+        "startup_s_per_image": startup_s / n_images,
+    }
+
+
+def _fingerprint(*fields) -> str:
+    text = "|".join(repr(f) for f in fields)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def run_uts_point(n_images: int) -> dict:
+    """One weak-scale UTS run; fingerprint covers the work distribution
+    and simulated time, i.e. the full schedule outcome."""
+    from repro.apps.uts import TreeParams, UTSConfig, run_uts
+
+    config = UTSConfig(tree=TreeParams(b0=2.0, max_depth=4, seed=19))
+    t0 = time.perf_counter()
+    r = run_uts(n_images, config, seed=3)
+    wall = time.perf_counter() - t0
+    return {
+        "n_images": n_images,
+        "wall_s": wall,
+        "total_nodes": r.total_nodes,
+        "sim_time": r.sim_time,
+        "fingerprint": _fingerprint(r.total_nodes, r.sim_time,
+                                    tuple(r.nodes_per_image)),
+    }
+
+
+def run_ra_point(n_images: int) -> dict:
+    """One weak-scale RandomAccess run; the xor checksum is itself a
+    fingerprint of every update applied."""
+    from repro.apps.randomaccess import RAConfig, run_randomaccess
+
+    config = RAConfig(log2_local_table=6, updates_per_image=4)
+    t0 = time.perf_counter()
+    r = run_randomaccess(n_images, config)
+    wall = time.perf_counter() - t0
+    return {
+        "n_images": n_images,
+        "wall_s": wall,
+        "total_updates": r.total_updates,
+        "checksum": r.checksum & 0xFFFFFFFFFFFFFFFF,
+        "fingerprint": _fingerprint(r.total_updates, r.checksum,
+                                    r.sim_time),
+    }
+
+
+def measure_weak_scaling(quick: bool = False) -> dict:
+    """The ``weak_scaling`` section of ``BENCH_simulator.json``."""
+    points = []
+    for p in FOOTPRINT_POINTS:
+        fp = measure_footprint(p)
+        points.append(fp)
+        print(f"  footprint p={p}: {fp['bytes_per_image']:8.1f} B/img "
+              f"(deep {fp['deep_bytes_per_image']:.1f}), "
+              f"startup {fp['startup_s_per_image'] * 1e6:.2f} us/img")
+    app_p = APP_POINT_QUICK if quick else APP_POINT_FULL
+    uts = run_uts_point(app_p)
+    print(f"  uts p={app_p}: wall {uts['wall_s']:.1f}s "
+          f"nodes={uts['total_nodes']} fp={uts['fingerprint']}")
+    ra = run_ra_point(app_p)
+    print(f"  randomaccess p={app_p}: wall {ra['wall_s']:.1f}s "
+          f"checksum={ra['checksum']:#x} fp={ra['fingerprint']}")
+    return {
+        "footprint": points,
+        "uts": uts,
+        "randomaccess": ra,
+    }
+
+
+if __name__ == "__main__":
+    import json
+
+    quick = "--quick" in sys.argv
+    print(json.dumps(measure_weak_scaling(quick=quick), indent=1))

@@ -96,6 +96,8 @@ def main() -> None:
                 f"{name}: normalized cost grew {growth:+.1%} "
                 f"(threshold {args.threshold:.0%})")
 
+    failures += _check_weak_scaling(ref, cur, args.threshold)
+
     if failures:
         print("\nperformance regression detected:", file=sys.stderr)
         for f in failures:
@@ -103,6 +105,40 @@ def main() -> None:
         raise SystemExit(EXIT_REGRESSION)
     print("\nno regression beyond threshold "
           f"({args.threshold:.0%}) — {len(ref['benches'])} benches ok")
+
+
+def _check_weak_scaling(ref: dict, cur: dict, threshold: float) -> list[str]:
+    """Gate ``bytes_per_image`` at each weak-scaling point.
+
+    Heap bytes are machine-portable (unlike wall times), so they are
+    compared raw, with the same fractional threshold.  Startup times are
+    printed for the record but not gated.  Absent sections are tolerated
+    (runs made with ``--skip-weak-scaling``).
+    """
+    ref_ws = ref.get("weak_scaling")
+    cur_ws = cur.get("weak_scaling")
+    if ref_ws is None or cur_ws is None:
+        return []
+    cur_points = {p["n_images"]: p for p in cur_ws.get("footprint", [])}
+    failures = []
+    for ref_point in ref_ws.get("footprint", []):
+        p = ref_point["n_images"]
+        cur_point = cur_points.get(p)
+        if cur_point is None:
+            failures.append(f"weak_scaling p={p}: missing from current run")
+            continue
+        ref_bytes = ref_point["bytes_per_image"]
+        cur_bytes = cur_point["bytes_per_image"]
+        growth = cur_bytes / ref_bytes - 1.0
+        status = "FAIL" if growth > threshold else "ok"
+        print(f"{status:4s} weak_scaling p={p}: {ref_bytes:.0f} -> "
+              f"{cur_bytes:.0f} B/img ({growth:+.1%}); startup "
+              f"{cur_point['startup_s_per_image'] * 1e6:.2f} us/img")
+        if growth > threshold:
+            failures.append(
+                f"weak_scaling p={p}: bytes_per_image grew {growth:+.1%} "
+                f"(threshold {threshold:.0%})")
+    return failures
 
 
 if __name__ == "__main__":

@@ -46,6 +46,7 @@ from bench_simulator_throughput import (  # noqa: E402
     run_raw_event_loop,
     run_task_switch,
 )
+from bench_weak_scaling import measure_weak_scaling  # noqa: E402
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
 
@@ -118,6 +119,9 @@ def main() -> None:
     ap.add_argument("--record-baseline", action="store_true",
                     help="also store this run as the pre-PR baseline "
                          "(only done once, on the pre-overhaul engine)")
+    ap.add_argument("--skip-weak-scaling", action="store_true",
+                    help="skip the weak-scaling section (footprint + "
+                         "paper-scale app runs)")
     args = ap.parse_args()
 
     rounds = 5 if args.quick else 15
@@ -126,12 +130,16 @@ def main() -> None:
     run = measure(rounds)
 
     doc = {
-        "schema": 1,
+        "schema": 2,
         "python": platform.python_version(),
         "rounds": rounds,
         "calibration_s": run["calibration_s"],
         "benches": run["benches"],
     }
+
+    if not args.skip_weak_scaling:
+        print("weak scaling (DESIGN.md §13):")
+        doc["weak_scaling"] = measure_weak_scaling(quick=args.quick)
 
     prior = None
     if args.out.exists():

@@ -129,14 +129,16 @@ def broadcast_async(ctx, buf: np.ndarray, root: int = 0,
     if my_tr == root:
         data = np.copy(buf)
         state.down_payload = data
-        _bcast_forward(machine, team, my_tr, seq, root, radix, state, data)
+        _bcast_forward(machine, team, my_tr, seq, root, radix, state, data,
+                       cause=ctx.activation.cause)
         # Root's local-data point: all injections to children done (the
         # source buffer has been fully read by the NIC).
         _resolve_local_data(machine, ctx.rank, state)
     else:
         state.have_own = True  # marks local participation
         if state.arrived:
-            _bcast_apply(machine, team, my_tr, seq, root, radix, state)
+            _bcast_apply(machine, team, my_tr, seq, root, radix, state,
+                         cause=ctx.activation.cause)
 
     if implicit:
         reads = my_tr == root
@@ -194,11 +196,13 @@ def _maybe_local_op(machine, world_rank: int, state: _AState) -> None:
 
 
 def _bcast_forward(machine, team: Team, my_tr: int, seq: int, root: int,
-                   radix: int, state: _AState, data: np.ndarray) -> None:
+                   radix: int, state: _AState, data: np.ndarray,
+                   cause=None) -> None:
     for child_tr in team.tree_children(my_tr, root, radix):
         dst = team.world_rank(child_tr)
         src_w = team.world_rank(my_tr)
-        stamp = fin.count_send(machine, src_w, state.key, dst=dst)
+        stamp = fin.count_send(machine, src_w, state.key, dst=dst,
+                               cause=cause)
         receipt = machine.am.request_nb(
             src_w, dst, _BCAST,
             args=(team.id, seq, root, radix, state.key,
@@ -228,28 +232,30 @@ def _make_bcast_handler(machine):
         team = machine.team_by_id(team_id)
         my_tr = team.rank_of(ctx.image)
         if state.have_own:
-            _bcast_apply(machine, team, my_tr, seq, root, radix, state)
+            _bcast_apply(machine, team, my_tr, seq, root, radix, state,
+                         cause=recv_stamp)
         else:
             # Data arrived before the local call: forward immediately so
             # the tree keeps moving; apply to the buffer at the call.
             _bcast_forward_only(machine, team, my_tr, seq, root, radix,
-                                state)
+                                state, cause=recv_stamp)
         fin.count_completed(machine, ctx.image, key, recv_stamp)
     return handle_bcast
 
 
 def _bcast_forward_only(machine, team, my_tr, seq, root, radix,
-                        state: _AState) -> None:
+                        state: _AState, cause=None) -> None:
     if state.forwarded_down:
         return
     state.forwarded_down = True
     _bcast_forward(machine, team, my_tr, seq, root, radix, state,
-                   state.arrived_payload)
+                   state.arrived_payload, cause=cause)
 
 
 def _bcast_apply(machine, team, my_tr, seq, root, radix,
-                 state: _AState) -> None:
-    _bcast_forward_only(machine, team, my_tr, seq, root, radix, state)
+                 state: _AState, cause=None) -> None:
+    _bcast_forward_only(machine, team, my_tr, seq, root, radix, state,
+                        cause=cause)
     state.my_work_done = True
     w = team.world_rank(my_tr)
     if state.buf is not None and not state.op.local_data.done:
@@ -268,7 +274,7 @@ def _make_reduce_up_handler(machine):
         state.child_values.append(ctx.payload)
         team = machine.team_by_id(team_id)
         _reduce_try_combine(machine, team, team.rank_of(ctx.image), seq,
-                            root, radix, state)
+                            root, radix, state, cause=recv_stamp)
         fin.count_completed(machine, ctx.image, key, recv_stamp)
     return handle_reduce_up
 
@@ -318,7 +324,8 @@ def reduce_async(ctx, value: Any, recvbuf: Optional[np.ndarray] = None,
     state.buf = result_buf if _broadcast_result else recvbuf
     state.phase2 = _broadcast_result
     my_tr = team.rank_of(ctx.rank)
-    _reduce_try_combine(machine, team, my_tr, seq, root, radix, state)
+    _reduce_try_combine(machine, team, my_tr, seq, root, radix, state,
+                        cause=ctx.activation.cause)
 
     if implicit:
         ctx.activation.register(aop.make_pending(
@@ -353,7 +360,8 @@ def barrier_async(ctx, team: Optional[Team] = None,
 
 
 def _reduce_try_combine(machine, team: Team, my_tr: int, seq: int,
-                        root: int, radix: int, state: _AState) -> None:
+                        root: int, radix: int, state: _AState,
+                        cause=None) -> None:
     if not state.have_own or state.sent_up:
         return
     children = team.tree_children(my_tr, root, radix)
@@ -375,7 +383,7 @@ def _reduce_try_combine(machine, team: Team, my_tr: int, seq: int,
             state.arrived = True
             state.arrived_payload = combined
             _bcast_forward(machine, team, my_tr, seq, root, radix, state,
-                           combined)
+                           combined, cause=cause)
             state.op.local_data.set_result(None)
             if state.src_event is not None:
                 machine.post_event(state.src_event, from_rank=w)
@@ -388,7 +396,7 @@ def _reduce_try_combine(machine, team: Team, my_tr: int, seq: int,
             _maybe_local_op(machine, w, state)
     else:
         dst = team.world_rank(parent_tr)
-        stamp = fin.count_send(machine, w, state.key, dst=dst)
+        stamp = fin.count_send(machine, w, state.key, dst=dst, cause=cause)
         receipt = machine.am.request_nb(
             w, dst, _REDUCE_UP,
             args=(team.id, seq, root, radix, state.key,
@@ -452,7 +460,8 @@ def _composite(ctx, kind: str, team: Optional[Team], src_event, local_event,
     # a synthetic self-addressed message whose delivery/completion land
     # when the internal task finishes (the underlying blocking collective
     # does not itself register with finish).
-    stamp = fin.count_send(machine, ctx.rank, key, dst=ctx.rank)
+    stamp = fin.count_send(machine, ctx.rank, key, dst=ctx.rank,
+                           cause=ctx.activation.cause)
 
     def runner():
         yield from body(result_slot)

@@ -140,7 +140,8 @@ def _make_get_req_handler(machine):
         data = ref.read()
         if src_event is not None:
             machine.post_event(src_event, from_rank=ctx.image)
-        reply_stamp = fin.count_send(machine, ctx.image, key, dst=reply_rank)
+        reply_stamp = fin.count_send(machine, ctx.image, key, dst=reply_rank,
+                                     cause=recv_stamp)
         receipt = machine.am.request_nb(
             ctx.image, reply_rank, _DATA,
             args=(token, key, fin.wire_tag(reply_stamp)),
@@ -176,7 +177,8 @@ def _make_fwd_handler(machine):
         if src_event is not None:
             machine.post_event(src_event, from_rank=ctx.image)
         put_stamp = fin.count_send(machine, ctx.image, key,
-                                   dst=dest_ref.world_rank)
+                                   dst=dest_ref.world_rank,
+                                   cause=recv_stamp)
         src_img = ctx.image
         receipt = machine.am.request_nb(
             ctx.image, dest_ref.world_rank, _PUT,
@@ -294,7 +296,8 @@ def _start_put(ctx, machine, op: AsyncOp, d: _Loc, s: _Loc, key,
                src_ev, dest_ev) -> None:
     """Source on the initiator, destination remote: one data message."""
     data = s.read()
-    stamp = fin.count_send(machine, ctx.rank, key, dst=d.rank)
+    stamp = fin.count_send(machine, ctx.rank, key, dst=d.rank,
+                           cause=ctx.activation.cause)
     receipt = machine.am.request_nb(
         ctx.rank, d.rank, _PUT,
         args=(d.ref, key, fin.wire_tag(stamp), dest_ev, None, None),
@@ -333,7 +336,8 @@ def _start_get(ctx, machine, op: AsyncOp, d: _Loc, s: _Loc, key,
         op.global_done.set_result(None)
 
     machine.scratch[("copy.token", token)] = complete
-    stamp = fin.count_send(machine, ctx.rank, key, dst=s.rank)
+    stamp = fin.count_send(machine, ctx.rank, key, dst=s.rank,
+                           cause=ctx.activation.cause)
     receipt = machine.am.request_nb(
         ctx.rank, s.rank, _GET_REQ,
         args=(s.ref, token, key, fin.wire_tag(stamp), src_ev, ctx.rank),
@@ -356,7 +360,8 @@ def _start_forward(ctx, machine, op: AsyncOp, d: _Loc, s: _Loc, key,
         op.global_done.set_result(None)
 
     machine.scratch[("copy.token", token)] = complete
-    stamp = fin.count_send(machine, ctx.rank, key, dst=s.rank)
+    stamp = fin.count_send(machine, ctx.rank, key, dst=s.rank,
+                           cause=ctx.activation.cause)
     receipt = machine.am.request_nb(
         ctx.rank, s.rank, _FWD,
         args=(s.ref, d.ref, key, fin.wire_tag(stamp), src_ev, dest_ev,

@@ -24,11 +24,29 @@ Each frame keeps two epochs (even/odd), each with four counters:
 - ``received``   — counted messages that landed on this image;
 - ``completed``  — of those, how many have finished their local work.
 
-A message is tagged with whether its sender's frame was in the odd epoch;
-all four counter updates for that message go to the epoch named by the
-tag.  Receiving an odd-tagged message hoists the receiver into the odd
-epoch (Fig. 7, line 32) — that is what makes the allreduce cut consistent
-without FIFO channels or global clocks.
+A message is tagged with whether it was sent "inside" the current wave's
+consistent cut; all four counter updates for that message go to the epoch
+named by the tag.  Receiving an odd-tagged message hoists the receiver
+into the odd epoch (Fig. 7, line 32) — that is what makes the allreduce
+cut consistent without FIFO channels or global clocks.
+
+The tag is *causal*, not phase-based.  Classifying a send purely by the
+sender image's current phase is unsound: an image hoisted into the odd
+epoch may still be running (a) its main program, whose sends precede its
+allreduce join and are forced delivered by the line-4 wait, and (b) a
+shipped-function handler whose receive was folded into the even epoch by
+a wave exit while its body was still running.  In both cases the work is
+accounted *inside* the cut (line 4 waits on ``even``), so hiding its
+sends in ``odd`` lets an allreduce read zero with counted messages
+outstanding — finish returns while shipped functions still run.
+:meth:`FinishFrame.on_send` therefore classifies each send by the
+*cause* of the sending activation: main-program sends count even (they
+happen before this image contributes to the wave); handler sends follow
+their receive — odd while the receive is still hidden in the odd epoch,
+even once it has been folded into the visible cut (provided this image
+has not yet contributed its even counters to the in-flight wave), and
+odd again after the contribution, so late sends cannot pair with an
+already-read completion on the remote side.
 
 One bookkeeping detail the pseudo-code leaves implicit: when the odd
 epoch is *folded* into the even one (allreduce exit), counts for odd-
@@ -105,7 +123,19 @@ class Epoch:
 
 
 class FinishFrame:
-    """One image's state for one finish block."""
+    """One image's state for one finish block.
+
+    Slotted and peer-sparse: every per-peer map holds entries only for
+    peers this image actually exchanged counted messages with, so a
+    frame's footprint follows the communication degree, not the image
+    count (DESIGN.md §13)."""
+
+    __slots__ = ("machine", "world_rank", "team", "seq", "key", "even",
+                 "odd", "present", "gen", "contributed", "cond", "rounds",
+                 "c_sent", "c_delivered", "c_received", "c_completed",
+                 "sent_to", "delivered_to", "received_from",
+                 "completed_from", "reconciled", "_reconcile_stamps",
+                 "ledger")
 
     def __init__(self, machine, world_rank: int, team: Team, seq: int):
         self.machine = machine
@@ -118,6 +148,11 @@ class FinishFrame:
         self.present = self.even
         #: fold generation (bumped by fold_to_even; see module docstring)
         self.gen = 0
+        #: True between this image contributing its even counters to an
+        #: allreduce wave and the fold on that wave's exit; handler sends
+        #: in that window are post-cut and must hide in odd (see
+        #: module docstring, "causal" tagging)
+        self.contributed = False
         self.cond = Condition(machine.sim, f"finish{self.key}@{world_rank}")
         #: diagnostic: allreduce waves this image participated in
         self.rounds = 0
@@ -177,22 +212,49 @@ class FinishFrame:
         self.even.fold_from(self.odd)
         self.present = self.even
         self.gen += 1
+        self.contributed = False
         self.cond.wake()
 
     # -- counter events ---------------------------------------------------- #
 
-    def on_send(self, dst: Optional[int] = None) -> tuple[bool, int, Optional[int]]:
+    def on_send(self, dst: Optional[int] = None,
+                cause: Optional[tuple] = None) -> tuple[bool, int, Optional[int]]:
         """Count an outgoing message; returns the (tag, generation, dst)
         stamp.  The tag travels on the wire; the stamp stays with the
         sender's ack callback.  Always counts, even toward a suspected
         peer: the transport guarantees such a send later resolves as
-        failed, and :meth:`on_send_failed` removes exactly this count."""
-        self.present.sent += 1
+        failed, and :meth:`on_send_failed` removes exactly this count.
+
+        ``cause`` is the receive stamp of the shipped-function activation
+        issuing the send (None for main-program sends).  It determines
+        the epoch tag causally — see the module docstring: a send is
+        hidden in odd exactly when its cause is hidden, or when this
+        image has already contributed its even counters to the wave in
+        flight."""
+        if cause is None:
+            # Main-program send: always precedes this image's allreduce
+            # contribution (the main blocks inside the detector once it
+            # joins), and the line-4 wait forces its delivery before the
+            # contribution is read — so it is inside the cut even when
+            # an odd-tagged arrival has hoisted the image's phase.
+            tag_odd = False
+        elif cause[0] and cause[1] == self.gen:
+            # Caused by a receive still hidden in the odd epoch: hide the
+            # send with it; both fold into the visible cut together.
+            tag_odd = True
+        else:
+            # The causing receive is visible in even.  Pre-contribution
+            # the send joins it inside the cut (line 4 then holds this
+            # image's read until the handler completes, so the count is
+            # included); post-contribution it must hide until the fold.
+            tag_odd = self.contributed
+        epoch = self.odd if tag_odd else self.even
+        epoch.sent += 1
         self.c_sent += 1
         if dst is not None:
             self.sent_to[dst] = self.sent_to.get(dst, 0) + 1
         self.cond.wake()
-        return (self.in_odd, self.gen, dst)
+        return (tag_odd, self.gen, dst)
 
     def on_delivered(self, stamp: tuple) -> None:
         tag_odd, gen, dst = stamp
@@ -450,13 +512,17 @@ def frame_at(machine, world_rank: int, key: tuple) -> FinishFrame:
 
 
 def count_send(machine, world_rank: int, key: Optional[tuple],
-               dst: Optional[int] = None) -> Optional[tuple]:
+               dst: Optional[int] = None,
+               cause: Optional[tuple] = None) -> Optional[tuple]:
     """Count a message send at its initiator.  Returns the sender stamp
     ``(tag, generation)``: put ``stamp[0]`` on the wire, keep the stamp
-    for :func:`count_delivered`.  None when not inside a finish."""
+    for :func:`count_delivered`.  None when not inside a finish.
+    ``cause`` is the sending activation's receive stamp (see
+    :meth:`FinishFrame.on_send`); pass ``activation.cause`` so handler
+    sends are classified causally."""
     if key is None:
         return None
-    return frame_at(machine, world_rank, key).on_send(dst)
+    return frame_at(machine, world_rank, key).on_send(dst, cause)
 
 
 def wire_tag(stamp: Optional[tuple]) -> Optional[bool]:

@@ -109,6 +109,7 @@ def _make_exec_handler(machine):
                 done_ids.add(spawn_id)
         activation = Activation(
             machine.image_state(ctx.image), finish_frame=frame, name=name)
+        activation.cause = recv_stamp
         if machine.racecheck is not None:
             machine.racecheck.activation_begin(activation, rc_vc)
         image = machine.make_image(ctx.image, activation)
@@ -183,7 +184,8 @@ def spawn(ctx, fn, target: int, *args: Any,
                                 op_id=machine.next_op_id()))
         return op
 
-    stamp = fin.count_send(machine, ctx.rank, key, dst=dst)
+    stamp = fin.count_send(machine, ctx.rank, key, dst=dst,
+                           cause=ctx.activation.cause)
     if (implicit and frame is not None and failure is not None
             and failure.recover):
         frame.ledger.append((spawn_id, dst, fn, shipped_args, name))
@@ -267,6 +269,7 @@ def _run_local(machine, rank: int, frame, fn, args: tuple,
     def body():
         activation = Activation(
             machine.image_state(rank), finish_frame=frame, name=name)
+        activation.cause = recv_stamp
         image = machine.make_image(rank, activation)
         machine.stats.incr("spawn.executed")
         try:

@@ -50,6 +50,7 @@ def epoch_detector(ctx, frame: FinishFrame) -> Generator[Any, Any, int]:
         # Line 8: the consistent-cut sum over the even epoch.  The
         # reduction-tree radix is overridable for the ablation bench.
         outstanding = frame.even.sent - frame.even.completed
+        frame.contributed = True
         wave_start = machine.sim.now
         total = yield from collectives.allreduce(
             ctx, outstanding, op="sum", team=frame.team,

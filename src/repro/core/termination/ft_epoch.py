@@ -12,17 +12,22 @@ already folded into the survivors):
    wait; a mere suspicion only re-routes coordination around the peer);
 2. with recovery off, a known failure raises a structured
    :class:`~repro.runtime.failure.ImageFailureError` instead of wedging;
-3. otherwise report ``even.sent - even.completed`` to the round's
-   coordinator — the lowest-ranked alive member — stamped with the
-   membership generation the report was computed under;
-4. the coordinator collects reports from every member *not confirmed
+3. otherwise report ``even.sent - even.completed`` into a *report
+   tree* — a radix tree over every member not confirmed dead, rotated
+   so the round's coordinator (the lowest-ranked alive member) is the
+   root.  Each node folds its own count into its children's subtree
+   sums and forwards one aggregate up, so a round costs each image
+   O(radix) messages and the coordinator O(radix) fan-in instead of a
+   p-wide flat gather (paper-scale image counts, DESIGN §13);
+4. the coordinator's aggregate must cover every member *not confirmed
    dead* (merely-suspected members included — their counters are
    un-reconciled, so a verdict summed without them is not a consistent
    cut) of the same generation; a mid-round membership change bumps the
-   generation, making the survivors restart the round (and possibly
-   elect a new coordinator, if the old one died);
+   generation, making the survivors restart the round with a fresh tree
+   (and possibly a new coordinator, if the old one died);
 5. the round's verdict (the summed outstanding count) is cached under
-   ``(frame key, round)`` and broadcast; termination is a zero verdict.
+   ``(frame key, round)`` and broadcast back down the report tree;
+   termination is a zero verdict.
 
 The verdict cache and coordinator scratch state are machine-global —
 like the monotonic suspect set, they model a replicated membership/
@@ -51,70 +56,150 @@ def _verdict_slot(key, r) -> tuple:
     return ("ft.verdict", key, r)
 
 
-def _collect_slot(key, r) -> tuple:
-    return ("ft.collect", key, r)
+def _collect_slot(key, r, node) -> tuple:
+    return ("ft.collect", key, r, node)
 
 
-def _accept_report(machine, key, r, team_id, rank: int, outstanding: int,
-                   gen: int, coord: int) -> None:
-    """Coordinator side of one detection round (runs inline at the
-    current coordinator ``coord``; also called directly for its own
-    report)."""
+_TREE_RADIX = 4
+
+
+def _layout(machine, team_id: int, gen: int):
+    """Report-tree layout for membership generation ``gen``: the
+    non-confirmed members rotated so the coordinator sits at position
+    0, plus the position of every member.  Cached per (team, gen) so a
+    round costs O(1) lookups per report, and kept for the verdict
+    broadcast (which may land after a later membership change)."""
+    slot = ("ft.layout", team_id, gen)
+    layout = machine.scratch.get(slot)
+    if layout is None:
+        service = machine.failure
+        team = machine.team_by_id(team_id)
+        # The verdict must sum over every member not confirmed dead —
+        # merely-suspected members included.  Excluding a live suspect
+        # sums an inconsistent cut: its unmatched sends/completions flow
+        # through the survivors' counters with opposite signs and can
+        # cancel to a spurious zero while it still holds live work (seen
+        # as an exact UTS undercount under phi suspicion across a
+        # healing partition).
+        required = service.required_members(team)
+        alive = service.alive_members(team)
+        coordinator = alive[0] if alive else required[0]
+        ci = required.index(coordinator)
+        order = required[ci:] + required[:ci]
+        layout = (order, {m: i for i, m in enumerate(order)})
+        machine.scratch[slot] = layout
+    return layout
+
+
+def _subtree_need(pos: int, size: int) -> int:
+    """Number of descendants below position ``pos`` — how many subtree
+    reports the node must fold in before sending its aggregate up."""
+    total = -1  # exclude pos itself
+    frontier = [pos]
+    while frontier:
+        nxt = []
+        for p in frontier:
+            total += 1
+            first = _TREE_RADIX * p + 1
+            if first < size:
+                nxt.extend(range(first, min(first + _TREE_RADIX, size)))
+        frontier = nxt
+    return total
+
+
+def _accept_report(machine, key, r, team_id, node: int, sender: int,
+                   subtotal: int, count: int, gen: int) -> None:
+    """One report-tree step at ``node``: fold in a subtree aggregate
+    (``sender`` ≠ ``node``) or the node's own count (``sender`` ==
+    ``node``), and forward one combined aggregate to the tree parent
+    once the whole subtree has reported.  At the root, a complete
+    aggregate is the verdict."""
     service = machine.failure
-    verdict = machine.scratch.get(_verdict_slot(key, r))
-    if verdict is not None:
+    if machine.scratch.get(_verdict_slot(key, r)) is not None:
         # Round already decided (the reporter restarted needlessly, or
-        # its report raced the broadcast): re-send the cached verdict.
-        _send_verdict(machine, key, r, rank, coord)
+        # its report raced the broadcast): re-wake the sender's image.
+        _send_verdict(machine, key, r, team_id, sender, node, gen)
         return
     if gen != service.gen:
         return  # stale report from before a membership change
-    state = machine.scratch.get(_collect_slot(key, r))
-    if state is None or state["gen"] != service.gen:
-        state = {"gen": service.gen, "reports": {}}
-        machine.scratch[_collect_slot(key, r)] = state
-    state["reports"][rank] = outstanding
-    team = machine.team_by_id(team_id)
-    # The verdict must sum over every member not confirmed dead —
-    # merely-suspected members included.  Excluding a live suspect sums
-    # an inconsistent cut: its unmatched sends/completions flow through
-    # the survivors' counters with opposite signs and can cancel to a
-    # spurious zero while it still holds live work (seen as an exact
-    # UTS undercount under phi suspicion across a healing partition).
-    required = service.required_members(team)
-    if not all(m in state["reports"] for m in required):
+    order, pos_of = _layout(machine, team_id, gen)
+    pos = pos_of.get(node)
+    if pos is None:
+        return  # node no longer part of the membership this gen
+    slot = _collect_slot(key, r, node)
+    state = machine.scratch.get(slot)
+    if state is None or state["gen"] != gen:
+        state = {"gen": gen, "own": None, "sum": 0, "count": 0,
+                 "from": set(), "need": _subtree_need(pos, len(order))}
+        machine.scratch[slot] = state
+    if sender == node:
+        if state["own"] is not None:
+            return  # duplicate own contribution
+        state["own"] = subtotal
+    else:
+        if sender in state["from"]:
+            return  # duplicate subtree report
+        state["from"].add(sender)
+        state["sum"] += subtotal
+        state["count"] += count
+    if state["own"] is None or state["count"] < state["need"]:
+        return  # subtree not complete yet
+    total = state["own"] + state["sum"]
+    total_count = 1 + state["count"]
+    machine.scratch.pop(slot, None)
+    if pos == 0:
+        # Root: the aggregate covers every required member — decide.
+        machine.scratch[_verdict_slot(key, r)] = total
+        machine.stats.incr("ft.rounds_decided")
+        _broadcast_verdict(machine, key, r, team_id, node, gen)
         return
-    total = sum(state["reports"][m] for m in required)
-    machine.scratch[_verdict_slot(key, r)] = total
-    machine.scratch.pop(_collect_slot(key, r), None)
-    machine.stats.incr("ft.rounds_decided")
-    for member in required:
-        _send_verdict(machine, key, r, member, coord)
+    parent = order[(pos - 1) // _TREE_RADIX]
+    machine.am.request_nb(
+        node, parent, _REPORT,
+        args=(team_id, key, r, node, total, total_count, gen),
+        category=AMCategory.SHORT, kind="ft.report",
+    )
 
 
-def _send_verdict(machine, key, r, member: int, src: int) -> None:
-    """Wake ``member``'s frame once the round's verdict is readable.
-    The verdict value travels through the (idealized) shared cache; the
-    AM is the asynchronous wake-up."""
+def _broadcast_verdict(machine, key, r, team_id, node: int, gen: int) -> None:
+    """Wake ``node``'s frame and push the verdict wake-up to its report-
+    tree children (the verdict value travels through the idealized
+    shared cache; the AMs are the asynchronous wake-ups)."""
+    machine.get_or_create_frame(node, key).cond.wake()
+    order, pos_of = _layout(machine, team_id, gen)
+    pos = pos_of.get(node)
+    if pos is None:
+        return
+    first = _TREE_RADIX * pos + 1
+    for c in range(first, min(first + _TREE_RADIX, len(order))):
+        machine.am.request_nb(
+            node, order[c], _VERDICT, args=(key, r, team_id, gen),
+            category=AMCategory.SHORT, kind="ft.verdict",
+        )
+
+
+def _send_verdict(machine, key, r, team_id, member: int, src: int,
+                  gen: int) -> None:
+    """Re-wake one member that reported into an already-decided round."""
     if member == src:
         machine.get_or_create_frame(member, key).cond.wake()
         return
     machine.am.request_nb(
-        src, member, _VERDICT, args=(key, r),
+        src, member, _VERDICT, args=(key, r, team_id, gen),
         category=AMCategory.SHORT, kind="ft.verdict",
     )
 
 
 def _make_report_handler(machine):
-    def handle_report(ctx, team_id, key, r, rank, outstanding, gen):
-        _accept_report(machine, key, r, team_id, rank, outstanding, gen,
-                       coord=ctx.image)
+    def handle_report(ctx, team_id, key, r, sender, subtotal, count, gen):
+        _accept_report(machine, key, r, team_id, ctx.image, sender,
+                       subtotal, count, gen)
     return handle_report
 
 
 def _make_verdict_handler(machine):
-    def handle_verdict(ctx, key, r):
-        machine.get_or_create_frame(ctx.image, key).cond.wake()
+    def handle_verdict(ctx, key, r, team_id, gen):
+        _broadcast_verdict(machine, key, r, team_id, ctx.image, gen)
     return handle_verdict
 
 
@@ -159,19 +244,12 @@ def ft_epoch_detector(ctx, frame: FinishFrame) -> Generator[Any, Any, int]:
                 frame.advance_to_odd()
             gen0 = service.gen
             outstanding = frame.even.sent - frame.even.completed
-            alive = service.alive_members(frame.team)
-            coordinator = alive[0] if alive else ctx.rank
+            frame.contributed = True
             wave_start = machine.sim.now
-            if coordinator == ctx.rank:
-                _accept_report(machine, key, r, frame.team.id, ctx.rank,
-                               outstanding, gen0, coord=ctx.rank)
-            else:
-                machine.am.request_nb(
-                    ctx.rank, coordinator, _REPORT,
-                    args=(frame.team.id, key, r, ctx.rank, outstanding,
-                          gen0),
-                    category=AMCategory.SHORT, kind="ft.report",
-                )
+            # Contribute the local count at this image's own report-tree
+            # node; the aggregate climbs to the coordinator from there.
+            _accept_report(machine, key, r, frame.team.id, ctx.rank,
+                           ctx.rank, outstanding, 0, gen0)
             yield from frame.cond.wait_until(
                 lambda: machine.scratch.get(_verdict_slot(key, r)) is not None
                 or service.gen != gen0)

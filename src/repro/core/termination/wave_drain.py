@@ -36,6 +36,7 @@ def wave_drain_detector(ctx, frame: FinishFrame
         if not frame.in_odd:
             frame.advance_to_odd()
         outstanding = frame.even.sent - frame.even.completed
+        frame.contributed = True
         total = yield from collectives.allreduce(
             ctx, outstanding, op="sum", team=frame.team,
             _stat="finish.allreduce_drain",

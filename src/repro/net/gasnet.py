@@ -49,9 +49,14 @@ class Segment:
                  members: Any = None):
         self.name = name
         self.n_images = n_images
-        member_set = set(range(n_images)) if members is None else set(members)
-        if not member_set <= set(range(n_images)):
-            raise ValueError("segment members out of image range")
+        if members is None:
+            # World-spanning segment: membership is the range itself —
+            # O(1) memory and O(1) containment, never a p-wide set.
+            member_set = range(n_images)
+        else:
+            member_set = set(members)
+            if not all(0 <= m < n_images for m in member_set):
+                raise ValueError("segment members out of image range")
         self.members = member_set
         self.locals: list[Optional[np.ndarray]] = [
             np.full(shape, fill, dtype=dtype) if i in member_set else None
@@ -97,9 +102,11 @@ class Gasnet:
         self.am = am
         self.sim = am.sim
         self._segments: dict[str, Segment] = {}
-        n = am.params.n_images
-        self._implicit: list[list[OpHandle]] = [[] for _ in range(n)]
-        self._region_open = [False] * n
+        # Sparse per-image state: entries exist only for images that
+        # actually use implicit handles / access regions, so a machine
+        # sized for 8192+ images pays nothing up front (DESIGN.md §13).
+        self._implicit: dict[int, list[OpHandle]] = {}
+        self._region_open: set[int] = set()
         self._pending_replies: dict[int, OpHandle] = {}
         self._reply_seq = 0
         am.ensure_registered(self._GET_REQ, self._h_get_request)
@@ -172,39 +179,39 @@ class Gasnet:
     def put_nbi(self, src_image: int, dst_image: int, seg_name: str,
                 index: Any, data: Any) -> OpHandle:
         handle = self.put_nb(src_image, dst_image, seg_name, index, data)
-        self._implicit[src_image].append(handle)
+        self._implicit.setdefault(src_image, []).append(handle)
         return handle
 
     def get_nbi(self, src_image: int, dst_image: int, seg_name: str,
                 index: Any) -> OpHandle:
         handle = self.get_nb(src_image, dst_image, seg_name, index)
-        self._implicit[src_image].append(handle)
+        self._implicit.setdefault(src_image, []).append(handle)
         return handle
 
     def wait_syncnbi_all(self, image: int) -> Generator[Any, Any, None]:
         """Block until every implicit-handle op started by ``image`` is
         globally done (GASNet semantics: completion only, no direction
         control — the contrast with ``cofence``)."""
-        handles, self._implicit[image] = self._implicit[image], []
+        handles = self._implicit.pop(image, [])
         if handles:
             yield all_of([h.done for h in handles], "syncnbi_all")
 
     def begin_accessregion(self, image: int) -> None:
-        if self._region_open[image]:
+        if image in self._region_open:
             raise AccessRegionError(
                 "GASNet access regions cannot be nested (paper §III-A.1)"
             )
-        if self._implicit[image]:
+        if self._implicit.get(image):
             raise AccessRegionError(
                 "implicit operations pending outside an access region"
             )
-        self._region_open[image] = True
+        self._region_open.add(image)
 
     def end_accessregion(self, image: int) -> Future:
-        if not self._region_open[image]:
+        if image not in self._region_open:
             raise AccessRegionError("no access region open")
-        self._region_open[image] = False
-        handles, self._implicit[image] = self._implicit[image], []
+        self._region_open.discard(image)
+        handles = self._implicit.pop(image, [])
         return all_of([h.done for h in handles], "accessregion")
 
     # ------------------------------------------------------------------ #

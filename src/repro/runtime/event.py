@@ -30,7 +30,7 @@ class EventRef:
     __slots__ = ("event", "world_rank")
 
     def __init__(self, event: "EventVar", world_rank: int):
-        if world_rank not in event._counts:
+        if world_rank not in event.team:
             raise ValueError(
                 f"event {event.name!r} has no counter on image {world_rank}"
             )
@@ -52,14 +52,24 @@ class EventVar:
 
     _anon = itertools.count()
 
+    __slots__ = ("machine", "team", "name", "_counts", "_conds")
+
     def __init__(self, machine: "Machine", team: Team, name: str | None = None):
         self.machine = machine
         self.team = team
         self.name = name or f"_event{next(EventVar._anon)}"
-        self._counts: dict[int, int] = {w: 0 for w in team.members}
-        self._conds: dict[int, Condition] = {
-            w: Condition(machine.sim, f"{self.name}@{w}") for w in team.members
-        }
+        # Sparse: counters and wait conditions materialize per member on
+        # first touch, so an event over 8192 images costs only what the
+        # program actually posts/waits on (DESIGN.md §13).
+        self._counts: dict[int, int] = {}
+        self._conds: dict[int, Condition] = {}
+
+    def _cond(self, world_rank: int) -> Condition:
+        cond = self._conds.get(world_rank)
+        if cond is None:
+            cond = self._conds[world_rank] = Condition(
+                self.machine.sim, f"{self.name}@{world_rank}")
+        return cond
 
     # -- addressing ------------------------------------------------------ #
 
@@ -74,7 +84,7 @@ class EventVar:
     # -- counter mechanics (simulation-internal) -------------------------- #
 
     def count_at(self, world_rank: int) -> int:
-        return self._counts[world_rank]
+        return self._counts.get(world_rank, 0)
 
     def post(self, world_rank: int, count: int = 1) -> None:
         """Increment the counter on ``world_rank`` and wake waiters.
@@ -85,16 +95,16 @@ class EventVar:
         """
         if count <= 0:
             raise ValueError(f"post count must be positive, got {count}")
-        self._counts[world_rank] += count
-        self._conds[world_rank].wake()
+        self._counts[world_rank] = self._counts.get(world_rank, 0) + count
+        self._cond(world_rank).wake()
 
     def consume_when_ready(self, world_rank: int, count: int = 1):
         """Generator: block until the counter on ``world_rank`` reaches
         ``count``, then consume that many posts."""
         if count <= 0:
             raise ValueError(f"wait count must be positive, got {count}")
-        yield from self._conds[world_rank].wait_until(
-            lambda: self._counts[world_rank] >= count
+        yield from self._cond(world_rank).wait_until(
+            lambda: self._counts.get(world_rank, 0) >= count
         )
         self._counts[world_rank] -= count
 

@@ -30,6 +30,22 @@ replicated membership service (in the spirit of ULFM's agreement);
 ``confirmed`` is always a subset of ``suspects`` so the transport's
 fast path pays one membership check, not two.
 
+Hierarchical monitoring (DESIGN §13)
+------------------------------------
+Monitoring is *not* all-pairs.  Live images are arranged in a radix
+tree (``FailureConfig.tree_radix``) over the current non-confirmed
+membership, and each image heartbeats and watches only its tree
+neighbours — parent plus up to ``tree_radix`` children, so one period
+costs O(p) messages total instead of O(p²) and every observer tracks
+O(1) peers.  Suspicion and confirmation publish into the shared
+membership sets, so detection latency is still one observer's timeout,
+not a tree traversal.  When a confirmation (or resurrection) changes
+membership, the tree is rebuilt over the survivors: a dead interior
+node's children are re-adopted automatically because positions shift.
+A *falsely confirmed* image that is in fact alive drops out of the
+tree, so it keeps probing the surrogate root (the lowest live rank) —
+one delivered probe is all a resurrection takes.
+
 Detectors
 ---------
 Every image runs a detector task each ``period`` (stretched by any
@@ -143,10 +159,13 @@ class FailureConfig:
                           1e-8 under the observed arrival distribution.
     ``window``          — per-(observer, peer) inter-arrival samples
                           kept for the phi estimate.
+    ``tree_radix``      — fan-out of the hierarchical monitoring tree;
+                          each image heartbeats/watches its parent and
+                          up to this many children (never all pairs).
     """
 
     __slots__ = ("period", "timeout", "recover", "detector",
-                 "confirm_timeout", "phi_suspect", "window")
+                 "confirm_timeout", "phi_suspect", "window", "tree_radix")
 
     def __init__(self, period: float = 5e-5,
                  timeout: Optional[float] = None,
@@ -154,7 +173,8 @@ class FailureConfig:
                  detector: str = "timeout",
                  confirm_timeout: Optional[float] = None,
                  phi_suspect: float = 8.0,
-                 window: int = 100):
+                 window: int = 100,
+                 tree_radix: int = 4):
         if period <= 0:
             raise ValueError(f"heartbeat period must be positive, got {period}")
         if timeout is None:
@@ -181,6 +201,9 @@ class FailureConfig:
         if window < 4:
             raise ValueError(
                 f"phi needs a window of at least 4 samples, got {window}")
+        if tree_radix < 2:
+            raise ValueError(
+                f"monitoring tree radix must be at least 2, got {tree_radix}")
         self.period = period
         self.timeout = timeout
         self.recover = recover
@@ -188,6 +211,7 @@ class FailureConfig:
         self.confirm_timeout = confirm_timeout
         self.phi_suspect = phi_suspect
         self.window = int(window)
+        self.tree_radix = int(tree_radix)
 
     def __repr__(self) -> str:
         return (f"FailureConfig(period={self.period}, timeout={self.timeout}, "
@@ -198,8 +222,19 @@ class FailureConfig:
 _HB = "fail.hb"
 
 
+class _SparseCounters(dict):
+    """Per-rank int counters that read 0 for untouched ranks without
+    ever storing them — ``c[r] += 1`` materializes only rank ``r``."""
+
+    __slots__ = ()
+
+    def __missing__(self, key):
+        return 0
+
+
 class FailureService:
-    """Per-machine failure detection (one detector task per image)."""
+    """Per-machine failure detection (one detector task per image,
+    heartbeating over a hierarchical monitoring tree)."""
 
     def __init__(self, machine, config: FailureConfig):
         self.machine = machine
@@ -217,18 +252,30 @@ class FailureService:
         self.gen = 0
         #: per-image incarnation numbers: bumped each time an image
         #: returns from wrongful suspicion/confirmation, so stale state
-        #: about the previous "life" is distinguishable
-        self.incarnations = [0] * n
+        #: about the previous "life" is distinguishable.  Sparse: only
+        #: ranks that ever recovered occupy memory.
+        self.incarnations = _SparseCounters()
         #: images that were suspected (or confirmed) and came back
         self.recovered: set[int] = set()
         #: per-dead-image counted-send orphan totals (filled at reconcile)
         self.orphans: dict[int, int] = {}
-        # last_heard[observer][peer] = sim time of last delivery
-        self._last_heard = [[0.0] * n for _ in range(n)]
+        # last-heard clocks, sparse per observer: entries exist only for
+        # the observer's monitored tree neighbours, seeded on the first
+        # detector tick that watches the pair (never an n×n matrix)
+        self._last_heard: dict[int, dict[int, float]] = {}
         # phi-accrual inter-arrival windows, lazily created per
         # (observer, peer) directed pair
         self._phi = config.detector == "phi"
         self._intervals: dict[tuple, deque] = {}
+        # Monitoring tree over the non-confirmed membership; rebuilt
+        # lazily whenever `gen` moves (see monitored_peers).  While no
+        # image is confirmed dead the membership is the identity map
+        # (pos == rank) and costs nothing; the order/pos tables are only
+        # materialized once a confirmation punches a hole in it.
+        self._alive_order: Optional[list[int]] = None
+        self._alive_pos: Optional[dict[int, int]] = None
+        self._monitor_cache: dict[int, frozenset] = {}
+        self._monitor_gen = -1
         #: when each currently-suspected image was suspected
         self.suspected_at: dict[int, float] = {}
         # --- detector-quality metrics (grayfail experiment) ---------- #
@@ -251,10 +298,6 @@ class FailureService:
             # Activate the spawn idempotency registry so every execution
             # is recorded (see repro.core.spawn).
             machine.scratch.setdefault("spawn.executed_ids", {})
-        now = machine.sim.now
-        for row in self._last_heard:
-            for i in range(self.n_images):
-                row[i] = now
         machine.network.on_delivery = self._on_delivery
         machine.am.ensure_registered(_HB, _heartbeat_handler)
         for rank in range(self.n_images):
@@ -299,18 +342,71 @@ class FailureService:
     # Detection
     # ------------------------------------------------------------------ #
 
+    # -- hierarchical monitoring tree ---------------------------------- #
+
+    def _rebuild_membership(self) -> None:
+        if self.confirmed:
+            order = [r for r in range(self.n_images)
+                     if r not in self.confirmed]
+            self._alive_order = order
+            self._alive_pos = {r: i for i, r in enumerate(order)}
+        else:
+            # Identity membership: pos == rank, no tables needed.
+            self._alive_order = None
+            self._alive_pos = None
+        self._monitor_cache.clear()
+        self._monitor_gen = self.gen
+
+    def monitored_peers(self, rank: int) -> frozenset:
+        """World ranks ``rank`` heartbeats and watches: its parent and
+        children in the ``tree_radix``-ary monitoring tree over the
+        current non-confirmed membership.  A rank that is itself
+        confirmed (wrongly — it is calling this, so it is alive) gets
+        the surrogate root so it can announce its own resurrection."""
+        if self._monitor_gen != self.gen:
+            self._rebuild_membership()
+        peers = self._monitor_cache.get(rank)
+        if peers is None:
+            peers = self._monitor_cache[rank] = self._tree_neighbors(rank)
+        return peers
+
+    def _tree_neighbors(self, rank: int) -> frozenset:
+        order = self._alive_order
+        if order is None:
+            pos, size = rank, self.n_images
+            rank_at = lambda p: p
+        else:
+            pos = self._alive_pos.get(rank)
+            size = len(order)
+            rank_at = order.__getitem__
+            if pos is None:
+                # Confirmed-but-calling: alive despite the verdict.
+                # Probe the surrogate root until a delivery resurrects.
+                return frozenset(order[:1])
+        radix = self.config.tree_radix
+        out = []
+        if pos > 0:
+            out.append(rank_at((pos - 1) // radix))
+        first_child = radix * pos + 1
+        for c in range(first_child, min(first_child + radix, size)):
+            out.append(rank_at(c))
+        return frozenset(out)
+
     def _on_delivery(self, src: int, dst: int) -> None:
         now = self.machine.sim.now
-        if self._phi:
-            prev = self._last_heard[dst][src]
-            if now > prev:
+        if src in self.monitored_peers(dst):
+            heard = self._last_heard.get(dst)
+            if heard is None:
+                heard = self._last_heard[dst] = {}
+            prev = heard.get(src)
+            if self._phi and prev is not None and now > prev:
                 key = (dst, src)
                 window = self._intervals.get(key)
                 if window is None:
                     window = self._intervals[key] = deque(
                         maxlen=self.config.window)
                 window.append(now - prev)
-        self._last_heard[dst][src] = now
+            heard[src] = now
         # A delivery IS life: lift any wrong verdict about the sender
         # before the message's own callbacks run (the transport calls
         # this hook first), so its counter stamps land un-reconciled.
@@ -347,7 +443,6 @@ class FailureService:
         confirm_timeout = cfg.confirm_timeout
         phi_suspect = cfg.phi_suspect
         phi = self._phi
-        heard = self._last_heard[rank]
         faults = machine.network.faults
         straggling = faults is not None and bool(faults.stragglers)
         while True:
@@ -358,10 +453,18 @@ class FailureService:
                 delay *= faults.service_factor(rank, sim.now)
             yield Delay(delay)
             now = sim.now
-            for peer in range(self.n_images):
+            # O(tree_radix) work per tick: only tree neighbours are
+            # watched and heartbeated, never all peers.
+            peers = sorted(self.monitored_peers(rank))
+            heard = self._last_heard.get(rank)
+            if heard is None:
+                heard = self._last_heard[rank] = {}
+            for peer in peers:
                 if peer == rank or peer in self.confirmed:
                     continue
-                elapsed = now - heard[peer]
+                # A peer first watched on this tick (startup, or just
+                # adopted after the tree healed) is measured from now.
+                elapsed = now - heard.setdefault(peer, now)
                 if peer in self.suspects:
                     # Level two is time-based for BOTH rules: only hard
                     # silence may trigger the irreversible verdict.
@@ -373,7 +476,7 @@ class FailureService:
                         self.publish(peer)
                 elif elapsed > timeout:
                     self.publish(peer)
-            for peer in range(self.n_images):
+            for peer in peers:
                 if peer == rank or peer in self.confirmed:
                     continue
                 # Suspected-but-unconfirmed peers keep receiving

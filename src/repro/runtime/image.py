@@ -42,16 +42,34 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class ImageState:
-    """Durable per-rank state shared by all of the rank's activations."""
+    """Durable per-rank state shared by all of the rank's activations.
+
+    Compact and lazy by design: machines are built for thousands of
+    images (DESIGN.md §13), so the per-rank footprint is a handful of
+    slots and the random stream is only drawn from the pool when the
+    image first asks for randomness."""
+
+    __slots__ = ("machine", "world_rank", "_rng", "finish_stack",
+                 "_finish_seq", "_coll_seq")
 
     def __init__(self, machine: "Machine", world_rank: int):
         self.machine = machine
         self.world_rank = world_rank
-        self.rng = machine.rng_pool[world_rank]
+        self._rng = None
         #: stack of open finish frames of the main program
         self.finish_stack: list = []
         self._finish_seq: dict[int, int] = {}
         self._coll_seq: dict[int, int] = {}
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """This rank's deterministic stream, materialized on first use
+        (bit-identical to eager creation: pool streams are keyed by
+        index, not creation order)."""
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = self.machine.rng_pool[self.world_rank]
+        return rng
 
     def next_finish_seq(self, team_id: int) -> int:
         seq = self._finish_seq.get(team_id, 0)
@@ -66,6 +84,8 @@ class ImageState:
 
 class Image:
     """The handle SPMD kernels and shipped functions program against."""
+
+    __slots__ = ("machine", "rank", "activation")
 
     def __init__(self, machine: "Machine", world_rank: int,
                  activation: Activation):

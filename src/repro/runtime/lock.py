@@ -35,11 +35,11 @@ class LockVar:
         self.machine = machine
         self.team = team
         self.name = name or f"_lock{next(LockVar._anon)}"
-        # Per-member world rank: holder token or None, plus FIFO waiters.
-        self._held: dict[int, bool] = {w: False for w in team.members}
-        self._queues: dict[int, deque[tuple[int, int]]] = {
-            w: deque() for w in team.members
-        }
+        # Per-member world rank: held flags and FIFO waiters, sparse —
+        # entries appear only on lock homes actually contended, so a
+        # lock over 8192 images costs nothing up front (DESIGN.md §13).
+        self._held: set[int] = set()
+        self._queues: dict[int, deque[tuple[int, int]]] = {}
         self._ensure_handlers()
 
     # -- handler plumbing -------------------------------------------------- #
@@ -66,22 +66,23 @@ class LockVar:
     # -- home-side mechanics ------------------------------------------------ #
 
     def _acquire_at(self, home: int, requester: int, token: int) -> None:
-        if not self._held[home]:
-            self._held[home] = True
+        if home not in self._held:
+            self._held.add(home)
             self._grant(home, requester, token)
         else:
-            self._queues[home].append((requester, token))
+            self._queues.setdefault(home, deque()).append(
+                (requester, token))
 
     def _release_at(self, home: int) -> None:
-        if not self._held[home]:
+        if home not in self._held:
             raise RuntimeError(
                 f"lock {self.name!r}@{home} released while not held"
             )
-        if self._queues[home]:
+        if self._queues.get(home):
             requester, token = self._queues[home].popleft()
             self._grant(home, requester, token)
         else:
-            self._held[home] = False
+            self._held.discard(home)
 
     def _grant(self, home: int, requester: int, token: int) -> None:
         if requester == home:
@@ -129,4 +130,4 @@ class LockVar:
             )
 
     def is_held(self, team_rank: int) -> bool:
-        return self._held[self.team.world_rank(team_rank)]
+        return self.team.world_rank(team_rank) in self._held

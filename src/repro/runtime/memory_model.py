@@ -129,7 +129,14 @@ class Activation:
 
     Every image's main program is one activation; every shipped-function
     execution gets a fresh one (carrying the finish frame of its spawner).
+
+    Slotted: one activation exists per main program and per in-flight
+    shipped function, which at paper-scale image counts makes this one
+    of the hottest allocations in the runtime (DESIGN.md §13).
     """
+
+    __slots__ = ("image_state", "finish_frame", "name", "_pending", "rc",
+                 "cause")
 
     def __init__(self, image_state: "ImageState",
                  finish_frame=None, name: str = "main"):
@@ -139,6 +146,11 @@ class Activation:
         self._pending: list[PendingOp] = []
         #: race-detector thread clock (analysis.racecheck), when enabled
         self.rc = None
+        #: the finish receive stamp of the message that started this
+        #: activation (shipped functions only; None for main programs).
+        #: Sends issued by the activation inherit their epoch tag from
+        #: it — see FinishFrame.on_send's causal classification.
+        self.cause = None
 
     def current_frame(self):
         """The finish frame this activation's implicit ops count toward:

@@ -45,6 +45,15 @@ from repro.runtime.team import Team
 _EVENT_POST = "event.post"
 
 
+def _member_key(members) -> tuple:
+    """Hashable interning key for a team membership.  Ranges key by
+    endpoints (tagged so a 2-member tuple can never collide) instead of
+    expanding to a p-wide tuple."""
+    if isinstance(members, range):
+        return ("r", members.start, members.stop)
+    return tuple(members)
+
+
 class DeadlockError(RuntimeError):
     """The event queue drained while SPMD main programs were blocked."""
 
@@ -142,9 +151,12 @@ class Machine:
         self._team_ids = itertools.count(1)
         self._teams: dict[int, Team] = {self.team_world.id: self.team_world}
         self._teams_by_members: dict[tuple, Team] = {
-            tuple(self.team_world.members): self.team_world
+            _member_key(self.team_world.members): self.team_world
         }
-        self._image_states = [ImageState(self, r) for r in range(n_images)]
+        # Per-rank state is materialized on first touch: a machine built
+        # for 8192+ images only pays for the ranks that actually run or
+        # communicate (weak-scaling, DESIGN.md §13).
+        self._image_states: dict[int, ImageState] = {}
         self._coarrays: dict[str, Coarray] = {}
         self._events: dict[str, EventVar] = {}
         self._locks: dict[str, LockVar] = {}
@@ -176,7 +188,15 @@ class Machine:
     # ------------------------------------------------------------------ #
 
     def image_state(self, world_rank: int) -> ImageState:
-        return self._image_states[world_rank]
+        state = self._image_states.get(world_rank)
+        if state is None:
+            if not 0 <= world_rank < self.n_images:
+                raise IndexError(
+                    f"image {world_rank} out of range [0, {self.n_images})"
+                )
+            state = self._image_states[world_rank] = ImageState(
+                self, world_rank)
+        return state
 
     def team_by_id(self, team_id: int) -> Team:
         try:
@@ -187,8 +207,15 @@ class Machine:
     def intern_team(self, members: Sequence[int],
                     parent: Optional[Team] = None) -> Team:
         """One shared Team object per member set (team_split uses this so
-        every member holds the same instance and id)."""
-        key = tuple(members)
+        every member holds the same instance and id).  Contiguous member
+        sets canonicalize to a range so block teams — including a re-
+        derived world membership — stay O(1) objects (DESIGN.md §13)."""
+        if not isinstance(members, range):
+            members = list(members)
+            if members and members == list(
+                    range(members[0], members[0] + len(members))):
+                members = range(members[0], members[0] + len(members))
+        key = _member_key(members)
         team = self._teams_by_members.get(key)
         if team is None:
             team = Team(members, team_id=next(self._team_ids), parent=parent)
@@ -333,7 +360,7 @@ class Machine:
         return frame
 
     def next_coll_seq(self, world_rank: int, team_id: int) -> int:
-        return self._image_states[world_rank].next_coll_seq(team_id)
+        return self.image_state(world_rank).next_coll_seq(team_id)
 
     def coll_state(self, world_rank: int, team_id: int, seq: int,
                    factory: Callable[[], Any]) -> Any:
@@ -402,9 +429,15 @@ class Machine:
         """A run report: simulated time, traffic, busy-time balance and
         the headline construct counters (what the harness prints)."""
         busy = self.busy.busy
-        mean_busy = float(busy.mean()) if self.n_images else 0.0
+        # Balance statistics cover only images that did work: at paper
+        # scale (8192 images) most ranks may be pure bystanders, and
+        # averaging them in would both dilute the imbalance signal and
+        # report a meaningless near-zero mean (DESIGN.md §13).
+        active = int(np.count_nonzero(busy))
+        mean_busy = float(busy.sum() / active) if active else 0.0
         return {
             "images": self.n_images,
+            "active_images": active,
             "sim_time": self.sim.now,
             "events_processed": self.sim.events_processed,
             "messages": self.stats["net.msgs"],
@@ -431,7 +464,7 @@ class Machine:
         image.  Call :meth:`run` afterwards."""
         tasks = []
         for rank in range(self.n_images):
-            activation = Activation(self._image_states[rank], name="main")
+            activation = Activation(self.image_state(rank), name="main")
             img = Image(self, rank, activation)
             tasks.append(Task(self.sim, kernel(img, *args),
                               name=f"main@{rank}", owner=rank))

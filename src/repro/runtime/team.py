@@ -27,17 +27,29 @@ class Team:
 
     _ids = itertools.count()
 
+    __slots__ = ("id", "members", "parent", "_rank_of")
+
     def __init__(self, members: Sequence[int], team_id: int | None = None,
                  parent: "Team | None" = None):
-        members = list(members)
-        if not members:
-            raise ValueError("a team must have at least one member")
-        if len(set(members)) != len(members):
-            raise ValueError(f"duplicate members in team: {members}")
+        if isinstance(members, range) and members.step == 1:
+            # Contiguous membership (team_world, block splits): keep the
+            # range itself — rank_of is arithmetic, so an 8192-image
+            # world team costs O(1) memory instead of a list plus an
+            # inverse dict (DESIGN.md §13).
+            if len(members) == 0:
+                raise ValueError("a team must have at least one member")
+            self.members: Sequence[int] = members
+            self._rank_of = None
+        else:
+            members = list(members)
+            if not members:
+                raise ValueError("a team must have at least one member")
+            if len(set(members)) != len(members):
+                raise ValueError(f"duplicate members in team: {members}")
+            self.members = members
+            self._rank_of = {w: i for i, w in enumerate(members)}
         self.id = next(Team._ids) if team_id is None else team_id
-        self.members = members
         self.parent = parent
-        self._rank_of = {w: i for i, w in enumerate(members)}
 
     # -- membership ----------------------------------------------------- #
 
@@ -52,16 +64,24 @@ class Team:
         return iter(self.members)
 
     def __contains__(self, world_rank: int) -> bool:
+        if self._rank_of is None:
+            return world_rank in self.members  # range: O(1) arithmetic
         return world_rank in self._rank_of
 
     def rank_of(self, world_rank: int) -> int:
         """Team rank of a world rank."""
-        try:
-            return self._rank_of[world_rank]
-        except KeyError:
-            raise ValueError(
-                f"world rank {world_rank} is not a member of team {self.id}"
-            ) from None
+        if self._rank_of is None:
+            members = self.members
+            if world_rank in members:
+                return world_rank - members.start
+        else:
+            try:
+                return self._rank_of[world_rank]
+            except KeyError:
+                pass
+        raise ValueError(
+            f"world rank {world_rank} is not a member of team {self.id}"
+        )
 
     def world_rank(self, team_rank: int) -> int:
         """World rank of a team rank."""

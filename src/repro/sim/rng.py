@@ -1,8 +1,15 @@
 """Reproducible random streams for simulated process images.
 
 Every image gets an independent :class:`numpy.random.Generator` derived from
-one master seed via ``SeedSequence.spawn``, so results are independent of
+one master seed via ``SeedSequence`` spawning, so results are independent of
 event interleaving and identical across runs.
+
+Streams are created *lazily*: ``SeedSequence(seed).spawn(n)[i]`` is
+bit-identical to ``SeedSequence(seed, spawn_key=(i,))`` (numpy's spawn is
+defined as appending the child index to the spawn key), so a pool over
+8192+ images only pays for the generators actually used.  Eagerly building
+every generator used to dominate Machine startup at paper-scale image
+counts.
 """
 
 from __future__ import annotations
@@ -19,23 +26,36 @@ class RngPool:
         Master seed.  Two pools with the same seed produce identical
         streams for every index.
     n_streams:
-        Number of streams to pre-spawn; indexing past this raises.
+        Number of addressable streams; indexing past this raises.
+        Generators are materialized on first access.
     """
+
+    __slots__ = ("seed", "n_streams", "_rngs")
 
     def __init__(self, seed: int, n_streams: int):
         if n_streams <= 0:
             raise ValueError("n_streams must be positive")
         self.seed = seed
         self.n_streams = n_streams
-        children = np.random.SeedSequence(seed).spawn(n_streams)
-        self._rngs = [np.random.default_rng(c) for c in children]
+        self._rngs: dict[int, np.random.Generator] = {}
 
     def __len__(self) -> int:
         return self.n_streams
+
+    @property
+    def materialized(self) -> int:
+        """How many streams have actually been built (footprint metric)."""
+        return len(self._rngs)
 
     def __getitem__(self, index: int) -> np.random.Generator:
         if not 0 <= index < self.n_streams:
             raise IndexError(
                 f"rng stream {index} out of range [0, {self.n_streams})"
             )
-        return self._rngs[index]
+        rng = self._rngs.get(index)
+        if rng is None:
+            # Identical to SeedSequence(seed).spawn(n_streams)[index]:
+            # spawning appends the child index to the spawn key.
+            child = np.random.SeedSequence(self.seed, spawn_key=(index,))
+            rng = self._rngs[index] = np.random.default_rng(child)
+        return rng

@@ -101,6 +101,19 @@ class TestDistributedRun:
         b = run_uts(2, UTSConfig(tree=TreeParams(max_depth=5, seed=20)))
         assert a.total_nodes != b.total_nodes
 
+    def test_count_exact_under_hoisted_handler_sends(self):
+        # Regression: machine seed 726 used to produce an inconsistent
+        # allreduce cut — a shipped function whose receive was folded
+        # into the even epoch kept running and its steal/lifeline sends
+        # were hidden in the odd epoch, so the finish concluded with
+        # counted work outstanding and the kernel returned a stale node
+        # count (1112 of 1200).  Causal send tagging in
+        # FinishFrame.on_send keeps such sends inside the cut.
+        tree = TreeParams(max_depth=5, seed=19)
+        expected = sequential_tree_size(tree)
+        result = run_uts(4, UTSConfig(tree=tree), seed=726)
+        assert result.total_nodes == expected
+
     def test_run_is_deterministic(self):
         cfg = UTSConfig(tree=TreeParams(max_depth=5))
         a = run_uts(4, cfg, seed=7)

@@ -244,6 +244,8 @@ class TestTeamSplit:
             return quarter.members
 
         _m, results = spmd(kernel, n=8)
-        assert results[0] == [0, 1]
-        assert results[5] == [4, 5]
-        assert results[7] == [6, 7]
+        # Contiguous memberships are stored as ranges (O(1) block teams);
+        # the member sequence itself is what the split must produce.
+        assert list(results[0]) == [0, 1]
+        assert list(results[5]) == [4, 5]
+        assert list(results[7]) == [6, 7]
