@@ -1,0 +1,87 @@
+"""Process-backend scaling benchmark (DESIGN.md §14).
+
+Runs UTS on the true-parallel execution backend at 1, 2 and 4 OS
+processes (8 in full mode) and records wall-clock throughput per point.
+The tree, seed and per-node cost are identical at every process count,
+so ``total_nodes`` is fixed and ``nodes_per_s`` isolates how the *wall*
+responds to adding processes — the property the simulator cannot
+measure, because it has no wall.
+
+The per-node cost is the same constant the simulated runs charge
+(``UTSConfig.node_cost``), scaled up so runtime overhead does not swamp
+it; on the realtime substrate it is a timer, so node processing
+overlaps across workers even when the host throttles the benchmark to
+one core (CI containers).  ``cpu_count`` is recorded with the section
+so a flat curve on starved hardware can be read for what it is.
+
+``compare_bench._check_parallel`` gates the section on
+*self-consistency* — largest-p throughput must beat 1-process — rather
+than on machine-specific absolute numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps.uts import TreeParams, UTSConfig, run_uts  # noqa: E402
+from repro.apps.uts import sequential_tree_size  # noqa: E402
+
+#: fixed workload: ~4.8k nodes, shared 4 levels deep, 0.2 ms per node
+TREE = TreeParams(b0=4.0, max_depth=6, seed=19)
+NODE_COST = 2e-4
+INIT_SHARING_DEPTH = 4
+
+QUICK_POINTS = (1, 2, 4)
+FULL_POINTS = (1, 2, 4, 8)
+
+
+def run_point(processes: int) -> dict:
+    config = UTSConfig(tree=TREE, node_cost=NODE_COST,
+                       init_sharing_depth=INIT_SHARING_DEPTH)
+    t0 = time.perf_counter()
+    result = run_uts(processes, config, seed=3, backend="process")
+    outer_wall = time.perf_counter() - t0
+    expected = sequential_tree_size(TREE)
+    if result.total_nodes != expected:
+        raise SystemExit(
+            f"parallel UTS at p={processes} counted {result.total_nodes} "
+            f"nodes, expected {expected} — refusing to record a broken "
+            "benchmark")
+    return {
+        "processes": processes,
+        "nodes": result.total_nodes,
+        # slowest worker's in-process clock: launch overhead excluded
+        "wall_s": result.sim_time,
+        "outer_wall_s": outer_wall,
+        "nodes_per_s": result.total_nodes / result.sim_time,
+    }
+
+
+def measure_parallel(quick: bool = False) -> dict:
+    points = []
+    for p in (QUICK_POINTS if quick else FULL_POINTS):
+        point = run_point(p)
+        points.append(point)
+        print(f"  parallel p={p}: {point['nodes_per_s']:,.0f} nodes/s "
+              f"(wall {point['wall_s']:.2f}s)")
+    speedup = points[-1]["nodes_per_s"] / points[0]["nodes_per_s"]
+    print(f"  parallel speedup {points[-1]['processes']}p vs 1p: "
+          f"{speedup:.2f}x on {os.cpu_count()} cores")
+    return {
+        "cpu_count": os.cpu_count(),
+        "node_cost_s": NODE_COST,
+        "uts_scaling": points,
+    }
+
+
+if __name__ == "__main__":
+    import json
+
+    quick = "--quick" in sys.argv
+    print(f"bench_parallel ({'quick' if quick else 'full'}):")
+    print(json.dumps(measure_parallel(quick=quick), indent=1))

@@ -80,8 +80,10 @@ def main() -> None:
     ref = _load(args.reference, "reference")
 
     failures = []
-    for name, ref_bench in sorted(ref["benches"].items()):
-        cur_bench = cur["benches"].get(name)
+    ref_benches = ref.get("benches", {})
+    cur_benches = cur.get("benches", {})
+    for name, ref_bench in sorted(ref_benches.items()):
+        cur_bench = cur_benches.get(name)
         if cur_bench is None:
             failures.append(f"{name}: missing from current run")
             continue
@@ -96,7 +98,13 @@ def main() -> None:
                 f"{name}: normalized cost grew {growth:+.1%} "
                 f"(threshold {args.threshold:.0%})")
 
+    # New benchmarks (or whole sections) that the committed baseline
+    # predates are a warning, not a failure: a schema bump must be able
+    # to land before its re-recorded baseline during a stacked rebase.
+    _warn_new_keys(ref, cur, args.reference)
+
     failures += _check_weak_scaling(ref, cur, args.threshold)
+    failures += _check_parallel(cur)
 
     if failures:
         print("\nperformance regression detected:", file=sys.stderr)
@@ -104,7 +112,25 @@ def main() -> None:
             print(f"  - {f}", file=sys.stderr)
         raise SystemExit(EXIT_REGRESSION)
     print("\nno regression beyond threshold "
-          f"({args.threshold:.0%}) — {len(ref['benches'])} benches ok")
+          f"({args.threshold:.0%}) — {len(ref_benches)} benches ok")
+
+
+def _warn_new_keys(ref: dict, cur: dict, ref_path: Path) -> None:
+    """Warn (never fail) about current-run content the baseline lacks."""
+    new_benches = sorted(set(cur.get("benches", {}))
+                         - set(ref.get("benches", {})))
+    known_sections = ("benches", "weak_scaling", "parallel")
+    new_sections = sorted(
+        s for s in known_sections if s in cur and s not in ref)
+    if not new_benches and not new_sections:
+        return
+    for name in new_benches:
+        print(f"warn {name}: not in baseline (new benchmark, ungated)")
+    for name in new_sections:
+        print(f"warn section '{name}': not in baseline (ungated)")
+    print("hint: adopt the current run as the new baseline with\n"
+          f"  python benchmarks/compare_bench.py {ref_path} "
+          "<current.json> --update-baseline")
 
 
 def _check_weak_scaling(ref: dict, cur: dict, threshold: float) -> list[str]:
@@ -139,6 +165,38 @@ def _check_weak_scaling(ref: dict, cur: dict, threshold: float) -> list[str]:
                 f"weak_scaling p={p}: bytes_per_image grew {growth:+.1%} "
                 f"(threshold {threshold:.0%})")
     return failures
+
+
+def _check_parallel(cur: dict) -> list[str]:
+    """Gate the process-backend scaling section on *self-consistency*:
+    throughput at the largest process count must beat one process.
+
+    Wall-clock throughputs are not portable across machines, so the
+    current run is only compared against itself — the property the
+    tentpole claims (real parallel speedup) rather than a number.
+    Absent sections are tolerated (runs made with ``--skip-parallel``,
+    or a baseline that predates the section).
+    """
+    par = cur.get("parallel")
+    if par is None:
+        return []
+    points = sorted(par.get("uts_scaling", []),
+                    key=lambda p: p["processes"])
+    if len(points) < 2:
+        return []
+    base, top = points[0], points[-1]
+    speedup = top["nodes_per_s"] / base["nodes_per_s"]
+    for p in points:
+        print(f"  parallel p={p['processes']}: "
+              f"{p['nodes_per_s']:,.0f} nodes/s "
+              f"(wall {p['wall_s']:.2f}s)")
+    if speedup <= 1.0:
+        return [f"parallel: {top['processes']}-process throughput "
+                f"({top['nodes_per_s']:,.0f} nodes/s) does not beat "
+                f"1-process ({base['nodes_per_s']:,.0f} nodes/s)"]
+    print(f"ok   parallel: {top['processes']}-process speedup "
+          f"{speedup:.2f}x over {base['processes']}-process")
+    return []
 
 
 if __name__ == "__main__":

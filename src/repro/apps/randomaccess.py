@@ -246,31 +246,81 @@ def reference_table(n_images: int, config: RAConfig) -> np.ndarray:
     return table
 
 
+def _ra_setup(machine) -> None:
+    config = machine.scratch["ra.setup_config"]
+    local_size = 2 ** config.log2_local_table
+    machine.coarray("ra_table", shape=local_size, dtype=np.uint64)
+    # HPCC initialization: table[i] = global index i
+    table = machine.coarray_by_name("ra_table")
+    for r in range(machine.n_images):
+        table.local_at(r)[:] = np.arange(
+            r * local_size, (r + 1) * local_size, dtype=np.uint64)
+
+
+def _ra_finalize(machine, rank: int) -> np.ndarray:
+    """Per-worker probe: ship this rank's final table slice home."""
+    return machine.coarray_by_name("ra_table").local_at(rank).copy()
+
+
 def run_randomaccess(n_images: int, config: Optional[RAConfig] = None,
                      params=None, seed: int = 0,
                      verify: bool = False, faults=None,
-                     racecheck: bool = False) -> RAResult:
+                     racecheck: bool = False,
+                     backend: str = "sim") -> RAResult:
     """Run RandomAccess; returns timing and the table checksum.
 
     With ``verify=True`` the final table is compared against a
     sequential re-application of the full update stream (HPCC's
     verification phase): the function-shipping variant must come back
     error-free, the racy get-update-put variant may lose updates.
-    """
-    from repro.runtime.program import run_spmd
 
+    ``backend="process"`` runs the same kernel on real OS processes and
+    assembles the table from each worker's slice; the xor checksum (and,
+    for function shipping, the whole table) is schedule-invariant and
+    must match the simulator — the cross-validation oracle (DESIGN §14).
+    """
     config = config if config is not None else RAConfig()
     local_size = 2 ** config.log2_local_table
     if n_images & (n_images - 1):
         raise ValueError("RandomAccess needs a power-of-two image count")
 
     def setup(machine):
-        machine.coarray("ra_table", shape=local_size, dtype=np.uint64)
-        # HPCC initialization: table[i] = global index i
-        table = machine.coarray_by_name("ra_table")
-        for r in range(n_images):
-            table.local_at(r)[:] = np.arange(
-                r * local_size, (r + 1) * local_size, dtype=np.uint64)
+        machine.scratch["ra.setup_config"] = config
+        _ra_setup(machine)
+
+    if backend == "process":
+        if faults is not None or racecheck:
+            raise ValueError(
+                "fault injection and race checking are simulator-only")
+        from repro.backend.parallel import run_spmd_process
+
+        run, blocks = run_spmd_process(
+            ra_kernel, n_images, params=params, seed=seed,
+            args=(config,), setup=setup, finalize=_ra_finalize)
+        slices = run.extras
+        checksum = 0
+        for arr in slices:
+            checksum ^= int(np.bitwise_xor.reduce(arr))
+        total = config.updates_per_image * n_images
+        errors = None
+        if verify:
+            expected = reference_table(n_images, config)
+            final = np.concatenate(slices)
+            errors = int(np.count_nonzero(final != expected))
+        now = run.sim.now
+        return RAResult(
+            sim_time=now,
+            total_updates=total,
+            gups=total / now / 1e9 if now else 0.0,
+            checksum=checksum,
+            finish_blocks=sum(blocks),
+            errors=errors,
+            retransmits=run.stats["net.retransmits"],
+            drops=run.stats["net.drops"],
+            dups=run.stats["net.dups"],
+        )
+
+    from repro.runtime.program import run_spmd
 
     machine, blocks = run_spmd(ra_kernel, n_images, params=params,
                                seed=seed, args=(config,), setup=setup,

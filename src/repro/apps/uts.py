@@ -129,6 +129,12 @@ class UTSConfig:
     init_sharing_depth: int = 2
     #: failed steal attempts before quiescing into lifelines (paper: 1)
     steal_attempts: int = 1
+    #: exponential-backoff ceiling on consecutive steal rounds skipped by
+    #: an image whose previous steals came back empty (1, 2, 4, ... cap).
+    #: An idle image in a work-starved phase otherwise re-steals on every
+    #: lifeline push it receives, flooding victims with fruitless
+    #: ``_steal_work`` shipments at scale.
+    steal_backoff_cap: int = 64
     #: termination detector for the enclosing finish (Fig. 18 compares
     #: "epoch" against "wave_unbounded")
     detector: str = "epoch"
@@ -168,6 +174,11 @@ class _UTSState:
         self.processing = False
         self.lifelines_in: deque[int] = deque()  # team ranks waiting on me
         self.lifelines_set = False
+        # Steal backoff: consecutive fruitless steal rounds, steal rounds
+        # still to skip, and whether a steal is in flight unanswered.
+        self.steal_fails = 0
+        self.steal_skip = 0
+        self.steal_pending = False
 
 
 #: packed wire bytes per work item (20-byte digest + 4-byte depth)
@@ -261,9 +272,29 @@ def _push_work(img, blob: bytes) -> Generator[Any, Any, None]:
     # lifelines (a served lifeline is consumed by the push, so the image
     # must re-register with its neighbors to stay receptive).
     if not st.queue and not st.processing:
-        yield from _attempt_steals(img, config)
+        if st.steal_skip > 0:
+            # Backing off: sit on the lifelines instead of re-stealing.
+            st.steal_skip -= 1
+            machine.stats.incr("uts.steals_skipped")
+        else:
+            yield from _attempt_steals(img, config)
         st.lifelines_set = False
         yield from _establish_lifelines(img)
+
+
+def _steal_reply(img, blob: bytes) -> Generator[Any, Any, None]:
+    """Shipped: a steal *response* — proof the thief's last steal paid
+    off, which resets its backoff before the work is queued.  A separate
+    entry point rather than a flag argument because the function
+    identity rides in the fixed spawn header: the payload stays
+    bit-identical to a lifeline push, so the chunk budget
+    (:func:`chunk_limit`, the paper's 9-descriptor GASNet constraint)
+    is unchanged."""
+    st = _state_of(img.machine, img.rank)
+    st.steal_fails = 0
+    st.steal_skip = 0
+    st.steal_pending = False
+    yield from _push_work(img, blob)
 
 
 def _steal_work(img, thief: int) -> Generator[Any, Any, None]:
@@ -277,7 +308,7 @@ def _steal_work(img, thief: int) -> Generator[Any, Any, None]:
         chunk = _take_chunk(machine, st, config)
         if chunk:
             machine.stats.incr("uts.steals_successful")
-            yield from img.spawn(_push_work, thief, pack_items(chunk))
+            yield from img.spawn(_steal_reply, thief, pack_items(chunk))
 
 
 def _set_lifeline(img, waiter: int) -> Generator[Any, Any, None]:
@@ -292,12 +323,19 @@ def _set_lifeline(img, waiter: int) -> Generator[Any, Any, None]:
 
 def _attempt_steals(img, config: UTSConfig) -> Generator[Any, Any, None]:
     st = _state_of(img.machine, img.rank)
+    if st.steal_pending:
+        # The previous round is still unanswered — it found nothing (a
+        # successful steal would have reset this flag).  Back off
+        # exponentially before the round we are about to send.
+        st.steal_fails += 1
+        st.steal_skip = min(1 << st.steal_fails, config.steal_backoff_cap)
     for _ in range(config.steal_attempts):
         victim = int(img.rng.integers(0, img.nimages))
         if victim == img.team_rank():
             victim = (victim + 1) % img.nimages
         if img.nimages > 1:
             yield from img.spawn(_steal_work, victim, img.team_rank())
+            st.steal_pending = True
 
 
 def _establish_lifelines(img) -> Generator[Any, Any, None]:
@@ -351,9 +389,17 @@ def uts_kernel(img, config: UTSConfig) -> Generator[Any, Any, int]:
     return st.nodes
 
 
+def _uts_finalize(machine, rank: int) -> tuple:
+    """Per-worker post-run probe for the process backend: this rank's
+    busy seconds and its view of the finish round count."""
+    return (float(machine.busy.busy[rank]),
+            int(machine.scratch.get("uts.finish_rounds", 0)))
+
+
 def run_uts(n_images: int, config: Optional[UTSConfig] = None,
             params=None, seed: int = 0, faults=None,
-            racecheck: bool = False, failure_detection=None) -> UTSResult:
+            racecheck: bool = False, failure_detection=None,
+            backend: str = "sim") -> UTSResult:
     """Run the distributed UTS benchmark; returns measurements.
 
     ``failure_detection`` (see :func:`repro.runtime.program.run_spmd`)
@@ -361,10 +407,42 @@ def run_uts(n_images: int, config: Optional[UTSConfig] = None,
     still yields the correct total tree count — the crash demo of
     DESIGN §11.  A dead image contributes 0 to ``total_nodes`` (its
     memory died with it); recovery re-executes its lost work on
-    survivors, where the re-explored nodes are counted."""
+    survivors, where the re-explored nodes are counted.
+
+    ``backend="process"`` runs the same kernel on real OS processes
+    (one per image); ``sim_time`` is then the slowest worker's wall
+    clock.  ``total_nodes`` is schedule-invariant, so it must equal the
+    simulator's — that is the cross-validation oracle (DESIGN §14)."""
+    config = config if config is not None else UTSConfig()
+    if backend == "process":
+        if faults is not None or racecheck:
+            raise ValueError(
+                "fault injection and race checking are simulator-only")
+        from repro.backend.parallel import run_spmd_process
+
+        run, per_image = run_spmd_process(
+            uts_kernel, n_images, params=params, seed=seed,
+            args=(config,), failure_detection=failure_detection,
+            finalize=_uts_finalize)
+        return UTSResult(
+            total_nodes=sum(n for n in per_image if n is not None),
+            sim_time=run.sim.now,
+            nodes_per_image=per_image,
+            busy_per_image=[e[0] if e is not None else 0.0
+                            for e in run.extras],
+            steals_attempted=run.stats["uts.steals_attempted"],
+            steals_successful=run.stats["uts.steals_successful"],
+            lifeline_pushes=run.stats["uts.lifeline_pushes"],
+            finish_rounds=max((e[1] for e in run.extras
+                               if e is not None), default=0),
+            retransmits=run.stats["net.retransmits"],
+            drops=run.stats["net.drops"],
+            dups=run.stats["net.dups"],
+            failed_images=tuple(sorted(run.dead_images)),
+            recovered_spawns=run.stats["spawn.recovered"],
+        )
     from repro.runtime.program import run_spmd
 
-    config = config if config is not None else UTSConfig()
     machine, per_image = run_spmd(uts_kernel, n_images, params=params,
                                   seed=seed, args=(config,), faults=faults,
                                   racecheck=racecheck,

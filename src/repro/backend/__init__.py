@@ -1,0 +1,27 @@
+"""True-parallel execution backend (DESIGN.md §14).
+
+Runs the same ``Image``/coarray/spawn/finish/event/collectives programs
+on real OS processes — ``Machine(backend="process")`` /
+``run_spmd(..., backend="process")`` — with the deterministic simulator
+as the cross-validation oracle.
+"""
+
+from repro.backend.parallel import (ParallelRun, ParallelTimeoutError,
+                                    ProcessRunner, run_spmd_process)
+from repro.backend.realtime import RealtimeScheduler
+from repro.backend.substrate import Substrate
+from repro.backend.transport import ProcessTransport
+from repro.backend.wire import WireError, dump_frame, load_frame
+
+__all__ = [
+    "ParallelRun",
+    "ParallelTimeoutError",
+    "ProcessRunner",
+    "ProcessTransport",
+    "RealtimeScheduler",
+    "Substrate",
+    "WireError",
+    "dump_frame",
+    "load_frame",
+    "run_spmd_process",
+]

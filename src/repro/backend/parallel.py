@@ -1,0 +1,347 @@
+"""True-parallel SPMD launch: one OS process per image.
+
+The coordinator (:class:`ProcessRunner`) forks ``n_images`` workers.
+Each worker builds its **own full local Machine** — same registries,
+same AM handlers, same finish/termination/failure machinery as under
+the simulator — over a :class:`~repro.backend.realtime.RealtimeScheduler`
+and a :class:`~repro.backend.transport.ProcessTransport`, then launches
+*only its own rank's* main program.  All cross-rank interaction in this
+runtime is active-message-mediated, so nothing else is needed: an AM
+addressed to rank ``d`` is pickled and pushed onto worker ``d``'s
+queue, whose progress thread posts it to that worker's run loop.
+
+Protocol (one multiprocessing queue per worker, one back to the parent):
+
+- ``("am", src, seq, want_ack, blob)`` — a pickled active message;
+- ``("ack", src, seq)``             — delivery confirmation;
+- ``("shutdown",)``                 — parent → worker: stop the loop;
+- ``("done", rank, payload)``       — worker → parent: main finished
+  (result or error, plus ``finalize`` extras and the stats snapshot);
+- ``("error", rank, exc)``          — worker → parent: the worker
+  itself failed (bootstrap error, or an AM dispatch raised).
+
+A worker that *disappears* (``os.kill``, crash) simply stops being
+alive; the parent's collection loop notices via ``Process.is_alive``
+and records it in ``dead_images`` with a ``None`` result — survivors
+learn of the death through the heartbeat failure detector exactly as
+simulated images do, because the detector's heartbeats are themselves
+active messages riding this conduit.
+
+Requires the ``fork`` start method (kernels, setups and closures are
+inherited, not pickled); Linux and macOS-with-fork only.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as queue_mod
+import threading
+import time
+from typing import Any, Callable, Optional
+
+#: default coordinator-side wall-clock budget for one parallel run
+DEFAULT_TIMEOUT_S = 300.0
+
+
+class ParallelTimeoutError(RuntimeError):
+    """The parallel run exceeded the coordinator's wall-clock budget.
+
+    ``partial`` holds the :class:`ParallelRun` as collected so far —
+    results and errors from the ranks that did report."""
+
+    def __init__(self, message: str, partial: "ParallelRun" = None):
+        super().__init__(message)
+        self.partial = partial
+
+
+class _Conduit:
+    """What a worker's transport sees: its rank plus ``put(dst, item)``
+    onto any worker's queue."""
+
+    __slots__ = ("rank", "_inboxes")
+
+    def __init__(self, rank: int, inboxes: list):
+        self.rank = rank
+        self._inboxes = inboxes
+
+    def put(self, dst: int, item: tuple) -> None:
+        self._inboxes[dst].put(item)
+
+
+class _ClockShim:
+    """Stands in for ``machine.sim`` on the coordinator-side result."""
+
+    __slots__ = ("now", "events_processed")
+
+    def __init__(self, now: float, events_processed: int):
+        self.now = now
+        self.events_processed = events_processed
+
+
+class ParallelRun:
+    """Coordinator-side view of a completed parallel run (duck-types the
+    slice of ``Machine`` the harness and tests read)."""
+
+    def __init__(self, n_images: int):
+        self.backend = "process"
+        self.n_images = n_images
+        self.results: list[Any] = [None] * n_images
+        #: per-rank ``finalize(machine, rank)`` values (None without one)
+        self.extras: list[Any] = [None] * n_images
+        #: workers that vanished without reporting (killed processes)
+        self.dead_images: set[int] = set()
+        #: per-rank worker errors (app exceptions or dispatch failures)
+        self.errors: dict[int, BaseException] = {}
+        #: summed per-key counters across every worker
+        self.stats = None
+        #: per-rank final scheduler clocks (wall seconds in-worker)
+        self.worker_now: list[float] = [0.0] * n_images
+        self.wall_s = 0.0
+        self.sim = _ClockShim(0.0, 0)
+
+    def _seal(self, stats, wall_s: float) -> None:
+        self.stats = stats
+        self.wall_s = wall_s
+        self.sim = _ClockShim(max(self.worker_now, default=0.0),
+                              stats["rt.events"] if stats else 0)
+
+
+def _picklable(obj: Any) -> Any:
+    """Make a value safe for the parent queue (whose feeder thread would
+    otherwise swallow pickling errors and silently drop the message)."""
+    try:
+        pickle.dumps(obj)
+        return obj
+    except Exception:
+        if isinstance(obj, BaseException):
+            return RuntimeError(f"{type(obj).__name__}: {obj}")
+        return f"<unpicklable {type(obj).__name__}: {obj!r}>"
+
+
+def _worker_main(spec: dict) -> None:
+    from repro.runtime.program import Machine
+
+    rank = spec["rank"]
+    parent_q = spec["parent_q"]
+    inboxes = spec["inboxes"]
+    # A SIGKILLed peer leaves our feeder threads holding frames for it;
+    # never let queue teardown block this process's exit on them.
+    for q in inboxes:
+        q.cancel_join_thread()
+    try:
+        conduit = _Conduit(rank, inboxes)
+        machine = Machine(
+            spec["n_images"], params=spec["params"], seed=spec["seed"],
+            backend="process", conduit=conduit, local_ranks=(rank,),
+            failure_detection=spec["failure_detection"],
+        )
+        setup = spec["setup"]
+        if setup is not None:
+            setup(machine)
+        task = machine.launch(spec["kernel"], args=spec["args"])[0]
+        sched = machine.sim
+
+        def report_done(fut) -> None:
+            exc = fut.exception()
+            finalize = spec["finalize"]
+            extras = None
+            if exc is None and finalize is not None:
+                try:
+                    extras = finalize(machine, rank)
+                except Exception as fexc:  # noqa: BLE001 - shipped to parent
+                    exc = fexc
+            stats = machine.stats.as_dict()
+            stats["rt.events"] = sched.events_processed
+            if exc is None:
+                payload = ("ok", _picklable(fut.result()),
+                           _picklable(extras), stats, sched.now)
+            else:
+                payload = ("exc", _picklable(machine._unwrap(exc)),
+                           None, stats, sched.now)
+            parent_q.put(("done", rank, payload))
+
+        task.done_future.add_done_callback(report_done)
+
+        def progress() -> None:
+            q = inboxes[rank]
+            while True:
+                item = q.get()
+                if item[0] == "shutdown":
+                    sched.stop()
+                    return
+                sched.post(machine.network.deliver_frame, item)
+
+        thread = threading.Thread(target=progress, daemon=True,
+                                  name=f"progress@{rank}")
+        thread.start()
+        sched.run()
+    except BaseException as exc:  # noqa: BLE001 - shipped to parent
+        parent_q.put(("error", rank, _picklable(exc)))
+
+
+class ProcessRunner:
+    """Fork, run, collect.  ``start()`` then ``wait()``; or use
+    :func:`run_spmd_process` for the one-shot path.  Between the two
+    calls :attr:`pids` exposes the worker process ids — the hook the
+    fault-tolerance tests use to ``os.kill`` a real worker mid-run."""
+
+    def __init__(self, kernel: Callable, n_images: int, *,
+                 params=None, seed: int = 0, args: tuple = (),
+                 setup: Optional[Callable] = None,
+                 failure_detection=None,
+                 finalize: Optional[Callable] = None):
+        if n_images < 1:
+            raise ValueError(f"need at least one image, got {n_images}")
+        self.kernel = kernel
+        self.n_images = n_images
+        self.params = params
+        self.seed = seed
+        self.args = args
+        self.setup = setup
+        self.failure_detection = failure_detection
+        self.finalize = finalize
+        self._procs: list = []
+        self._inboxes: list = []
+        self._parent_q = None
+        self._t0 = 0.0
+
+    def start(self) -> "ProcessRunner":
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            raise RuntimeError(
+                "the process backend requires the 'fork' start method "
+                "(kernels and setups are inherited, not pickled)"
+            ) from None
+        n = self.n_images
+        self._inboxes = [ctx.Queue() for _ in range(n)]
+        self._parent_q = ctx.Queue()
+        self._t0 = time.monotonic()
+        for rank in range(n):
+            spec = {
+                "rank": rank, "n_images": n, "kernel": self.kernel,
+                "args": self.args, "params": self.params,
+                "seed": self.seed, "setup": self.setup,
+                "failure_detection": self.failure_detection,
+                "finalize": self.finalize,
+                "inboxes": self._inboxes, "parent_q": self._parent_q,
+            }
+            proc = ctx.Process(target=_worker_main, args=(spec,),
+                               daemon=True, name=f"image-{rank}")
+            proc.start()
+            self._procs.append(proc)
+        return self
+
+    @property
+    def pids(self) -> list[int]:
+        return [p.pid for p in self._procs]
+
+    def wait(self, timeout: float = DEFAULT_TIMEOUT_S,
+             raise_errors: bool = True) -> ParallelRun:
+        """Collect every worker's verdict, shut the fleet down, and
+        return the :class:`ParallelRun`.  A worker that dies without
+        reporting lands in ``dead_images`` with a ``None`` result."""
+        run = ParallelRun(self.n_images)
+        deadline = self._t0 + timeout
+        pending = set(range(self.n_images))
+        stats_sum: dict[str, int] = {}
+        while pending:
+            try:
+                item = self._parent_q.get(timeout=0.2)
+            except queue_mod.Empty:
+                for rank in sorted(pending):
+                    if not self._procs[rank].is_alive():
+                        pending.discard(rank)
+                        run.dead_images.add(rank)
+                if time.monotonic() > deadline:
+                    self._terminate_all()
+                    detail = ""
+                    if run.errors:
+                        detail = "".join(
+                            f"; rank {r} reported: {e!r}"
+                            for r, e in sorted(run.errors.items()))
+                    raise ParallelTimeoutError(
+                        f"parallel run exceeded {timeout:.0f}s with "
+                        f"rank(s) {sorted(pending)} unaccounted for"
+                        + detail, partial=run)
+                continue
+            tag, rank = item[0], item[1]
+            pending.discard(rank)
+            if tag == "error":
+                exc = item[2]
+                run.errors[rank] = (exc if isinstance(exc, BaseException)
+                                    else RuntimeError(str(exc)))
+                continue
+            status, result, extras, stats, worker_now = item[2]
+            run.worker_now[rank] = worker_now
+            for key, value in stats.items():
+                stats_sum[key] = stats_sum.get(key, 0) + value
+            if status == "ok":
+                run.results[rank] = result
+                run.extras[rank] = extras
+            else:
+                run.errors[rank] = (result if isinstance(result,
+                                                         BaseException)
+                                    else RuntimeError(str(result)))
+        self._shutdown(run)
+        from repro.sim.trace import Stats
+
+        stats = Stats()
+        for key, value in stats_sum.items():
+            stats.incr(key, value)
+        run._seal(stats, time.monotonic() - self._t0)
+        if raise_errors and run.errors:
+            raise run.errors[min(run.errors)]
+        return run
+
+    def _shutdown(self, run: ParallelRun) -> None:
+        for rank, proc in enumerate(self._procs):
+            if rank not in run.dead_images and proc.is_alive():
+                try:
+                    self._inboxes[rank].put(("shutdown",))
+                except Exception:
+                    pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+        self._terminate_all()
+        for q in self._inboxes + [self._parent_q]:
+            q.cancel_join_thread()
+            q.close()
+
+    def _terminate_all(self) -> None:
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.join(timeout=2.0)
+                if proc.is_alive():
+                    proc.kill()
+
+    def kill_worker(self, rank: int) -> None:
+        """SIGKILL one worker — a *real* fail-stop crash for the failure
+        detector to find."""
+        import signal
+
+        os.kill(self._procs[rank].pid, signal.SIGKILL)
+
+
+def run_spmd_process(kernel: Callable, n_images: int, *,
+                     params=None, seed: int = 0, args: tuple = (),
+                     setup: Optional[Callable] = None,
+                     failure_detection=None,
+                     finalize: Optional[Callable] = None,
+                     timeout: float = DEFAULT_TIMEOUT_S,
+                     ) -> tuple[ParallelRun, list]:
+    """Process-backend twin of :func:`repro.runtime.program.run_spmd`:
+    returns ``(run, per-rank results)`` with the same result-list
+    semantics (a dead image reports ``None``)."""
+    runner = ProcessRunner(kernel, n_images, params=params, seed=seed,
+                           args=args, setup=setup,
+                           failure_detection=failure_detection,
+                           finalize=finalize)
+    runner.start()
+    run = runner.wait(timeout=timeout)
+    return run, run.results

@@ -1,0 +1,138 @@
+"""Pickled active-message wire format for the process backend.
+
+Under the simulator every image shares one ``Machine``, so AM payloads
+travel as live object references.  On real OS processes each worker
+holds its own machine with its own registries, and the shared objects a
+payload names — coarrays, events, locks, teams, the machine itself —
+must be resolved *by identity* against the receiver's registries, never
+copied.  (Copying a coarray would fork its storage; copying an EventVar
+would drag a machine and its scheduler across the pipe.)
+
+:func:`dump_frame` therefore pickles with ``persistent_id`` hooks that
+replace every registry-owned object with a symbolic name, and
+:func:`load_frame` resolves those names against the receiving machine.
+Everything else — numpy buffers, plain data, ``CoarrayRef`` /
+``ImageSection`` / ``EventRef`` handles (whose inner registry objects
+are intercepted recursively), module-level shipped functions — pickles
+structurally.
+
+The symmetry requirement this creates is the same one every SPMD
+runtime has: shared state must be *declared identically on every
+process*.  ``run_spmd(setup=...)`` runs the setup on each worker, and
+teams created by collective ``team_split`` calls get identical ids
+everywhere because every member executes the same split sequence.  A
+shipped function must be importable (module-level) — a closure has no
+cross-process name, and raises a :class:`WireError` at send time rather
+than a bare pickle error at the receiver.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from typing import Any
+
+from repro.runtime.coarray import Coarray
+from repro.runtime.event import EventVar
+from repro.runtime.lock import LockVar
+from repro.runtime.team import Team
+
+
+class WireError(TypeError):
+    """An AM payload cannot cross a process boundary (unpicklable
+    object, or a name that does not resolve on the receiver)."""
+
+
+def _member_spec(members) -> tuple:
+    if isinstance(members, range):
+        return ("r", members.start, members.stop)
+    return ("t",) + tuple(members)
+
+
+def _members_from_spec(spec: tuple):
+    if spec[0] == "r":
+        return range(spec[1], spec[2])
+    return tuple(spec[1:])
+
+
+class _Pickler(pickle.Pickler):
+    def __init__(self, buf, machine):
+        super().__init__(buf, protocol=pickle.HIGHEST_PROTOCOL)
+        self._machine = machine
+
+    def persistent_id(self, obj: Any):
+        cls = obj.__class__
+        if cls is Coarray:
+            return ("coarray", obj.name)
+        if cls is EventVar:
+            return ("event", obj.name)
+        if cls is LockVar:
+            return ("lock", obj.name)
+        if cls is Team:
+            return ("team", obj.id, _member_spec(obj.members))
+        if obj is self._machine:
+            return ("machine",)
+        return None
+
+
+class _Unpickler(pickle.Unpickler):
+    def __init__(self, buf, machine):
+        super().__init__(buf)
+        self._machine = machine
+
+    def persistent_load(self, pid: tuple) -> Any:
+        machine = self._machine
+        tag = pid[0]
+        try:
+            if tag == "coarray":
+                return machine.coarray_by_name(pid[1])
+            if tag == "event":
+                return machine.event_by_name(pid[1])
+            if tag == "lock":
+                return machine.lock_by_name(pid[1])
+        except KeyError:
+            raise WireError(
+                f"remote active message references {tag} {pid[1]!r}, "
+                "which this process never allocated — shared state must "
+                "be declared on every process (run_spmd(setup=...) runs "
+                "the setup everywhere)"
+            ) from None
+        if tag == "machine":
+            return machine
+        if tag == "team":
+            team_id, spec = pid[1], pid[2]
+            team = machine._teams.get(team_id)
+            if team is None:
+                # The sender split a team this process has not (yet)
+                # created.  Materialize it under the sender's id; with
+                # collective team creation (the CAF 2.0 rule) ids agree
+                # on every process, so this only fills a timing gap.
+                from repro.runtime.program import _member_key
+
+                team = Team(_members_from_spec(spec), team_id=team_id)
+                machine._teams[team_id] = team
+                machine._teams_by_members.setdefault(
+                    _member_key(team.members), team)
+            return team
+        raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+
+
+def dump_frame(machine, obj: Any) -> bytes:
+    """Pickle ``obj`` for the wire, interning ``machine``-owned objects
+    by name."""
+    buf = io.BytesIO()
+    try:
+        _Pickler(buf, machine).dump(obj)
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        raise WireError(
+            f"active-message payload cannot cross a process boundary: "
+            f"{exc} — shipped functions must be module-level (a closure "
+            "has no importable name), and payloads must be picklable"
+        ) from exc
+    return buf.getvalue()
+
+
+def load_frame(machine, data: bytes) -> Any:
+    """Unpickle a frame, resolving interned names against ``machine``'s
+    registries."""
+    return _Unpickler(io.BytesIO(data), machine).load()

@@ -162,10 +162,14 @@ def _accept_report(machine, key, r, team_id, node: int, sender: int,
 
 
 def _broadcast_verdict(machine, key, r, team_id, node: int, gen: int) -> None:
-    """Wake ``node``'s frame and push the verdict wake-up to its report-
-    tree children (the verdict value travels through the idealized
-    shared cache; the AMs are the asynchronous wake-ups)."""
+    """Wake ``node``'s frame and push the verdict to its report-tree
+    children.  The verdict VALUE rides in the AM itself: under the
+    simulator the shared scratch cache would carry it anyway, but on the
+    process backend each worker has its own scratch, and the broadcast
+    is what populates it (the handler installs the value before
+    recursing)."""
     machine.get_or_create_frame(node, key).cond.wake()
+    verdict = machine.scratch.get(_verdict_slot(key, r))
     order, pos_of = _layout(machine, team_id, gen)
     pos = pos_of.get(node)
     if pos is None:
@@ -173,7 +177,7 @@ def _broadcast_verdict(machine, key, r, team_id, node: int, gen: int) -> None:
     first = _TREE_RADIX * pos + 1
     for c in range(first, min(first + _TREE_RADIX, len(order))):
         machine.am.request_nb(
-            node, order[c], _VERDICT, args=(key, r, team_id, gen),
+            node, order[c], _VERDICT, args=(key, r, team_id, gen, verdict),
             category=AMCategory.SHORT, kind="ft.verdict",
         )
 
@@ -184,8 +188,9 @@ def _send_verdict(machine, key, r, team_id, member: int, src: int,
     if member == src:
         machine.get_or_create_frame(member, key).cond.wake()
         return
+    verdict = machine.scratch.get(_verdict_slot(key, r))
     machine.am.request_nb(
-        src, member, _VERDICT, args=(key, r, team_id, gen),
+        src, member, _VERDICT, args=(key, r, team_id, gen, verdict),
         category=AMCategory.SHORT, kind="ft.verdict",
     )
 
@@ -198,7 +203,11 @@ def _make_report_handler(machine):
 
 
 def _make_verdict_handler(machine):
-    def handle_verdict(ctx, key, r, team_id, gen):
+    def handle_verdict(ctx, key, r, team_id, gen, verdict):
+        if verdict is not None:
+            # First write wins; under the simulator the root already
+            # wrote the same value, so this is a no-op there.
+            machine.scratch.setdefault(_verdict_slot(key, r), verdict)
         _broadcast_verdict(machine, key, r, team_id, ctx.image, gen)
     return handle_verdict
 

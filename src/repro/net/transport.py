@@ -45,12 +45,15 @@ in the chrome trace as instant events.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 import numpy as np
 
-from repro.sim.engine import ChoicePoint, Simulator
+from repro.sim.engine import ChoicePoint
 from repro.sim.tasks import Future
+
+if TYPE_CHECKING:
+    from repro.backend.substrate import Substrate
 from repro.sim.trace import Stats
 from repro.net.topology import MachineParams
 from repro.net.faults import FaultPlan
@@ -201,6 +204,13 @@ class Network:
 
     Parameters
     ----------
+    sim:
+        The execution :class:`~repro.backend.substrate.Substrate` the
+        cost model schedules against — the deterministic simulator in
+        practice (the process backend substitutes
+        :class:`~repro.backend.transport.ProcessTransport` for this
+        whole class rather than running the simulated wire on real
+        time).
     faults:
         Optional :class:`FaultPlan` consulted on every transmission and
         acknowledgment.
@@ -210,7 +220,7 @@ class Network:
         stream varies with ``seed=`` as documented.
     """
 
-    def __init__(self, sim: Simulator, params: MachineParams,
+    def __init__(self, sim: "Substrate", params: MachineParams,
                  stats: Optional[Stats] = None,
                  jitter_rng: Optional[np.random.Generator] = None,
                  tracer=None,

@@ -220,6 +220,7 @@ class FailureConfig:
 
 
 _HB = "fail.hb"
+_MEMBER = "fail.member"
 
 
 class _SparseCounters(dict):
@@ -300,11 +301,17 @@ class FailureService:
             machine.scratch.setdefault("spawn.executed_ids", {})
         machine.network.on_delivery = self._on_delivery
         machine.am.ensure_registered(_HB, _heartbeat_handler)
-        for rank in range(self.n_images):
+        machine.am.ensure_registered(_MEMBER, _make_member_handler(machine))
+        # Detector tasks run only for ranks this machine hosts: all of
+        # them under the simulator, exactly one in a process-mode worker
+        # (each worker observes for its own rank; verdicts propagate by
+        # membership gossip instead of the sim's shared sets).
+        local = list(machine.local_ranks)
+        for rank in local:
             task = Task(machine.sim, self._detector(rank),
                         name=f"fail.detect@{rank}", owner=rank)
             self._tasks.append(task)
-        machine.stats.incr("fail.detectors", self.n_images)
+        machine.stats.incr("fail.detectors", len(local))
 
     def stop(self) -> None:
         if self._stopped:
@@ -323,6 +330,13 @@ class FailureService:
         if self._stopped:
             return
         machine = self.machine
+        if machine.backend != "sim":
+            # A process-mode worker must keep heartbeating after its own
+            # main finishes — its peers may still be running (and its
+            # silence would read as a crash).  The wall-clock loop has no
+            # drained-queue liveness problem; the coordinator's shutdown
+            # broadcast ends the process.
+            return
         for task in machine._main_tasks:
             if task.done_future.done:
                 continue
@@ -493,7 +507,33 @@ class FailureService:
     # Membership transitions
     # ------------------------------------------------------------------ #
 
-    def publish(self, peer: int) -> None:
+    def _gossip(self, op: str, peer: int) -> None:
+        """Broadcast a membership transition to every other process.
+
+        Under the simulator the suspect/confirmed sets are one shared
+        structure (an idealized membership service); on real processes
+        each worker holds its own copy, so the observer that makes a
+        transition tells everyone else.  Best-effort SHORT messages
+        (verdicts about a dead peer must not park in its quarantine);
+        application is idempotent at the receiver, so crossed gossip
+        converges — every *effective* transition is broadcast exactly
+        once and applied at most once per machine, which keeps the
+        membership generation counters equal across workers (the
+        ft_epoch report rounds compare them)."""
+        machine = self.machine
+        if machine.backend == "sim":
+            return
+        src = machine.local_ranks[0]
+        for dst in range(self.n_images):
+            if dst == src:
+                continue
+            machine.am.request_nb(
+                src, dst, _MEMBER, args=(op, peer),
+                category=AMCategory.SHORT, best_effort=True,
+                kind="fail.member",
+            )
+
+    def publish(self, peer: int, gossip: bool = True) -> None:
         """Level one — SUSPECTED: park traffic toward ``peer`` in the
         transport quarantine.  Revocable; nothing is reconciled yet."""
         if peer in self.suspects:
@@ -512,9 +552,11 @@ class FailureService:
         if machine.tracer is not None:
             machine.tracer.instant(peer, "fail.suspected", now,
                                    args={"gen": self.gen})
+        if gossip:
+            self._gossip("suspect", peer)
         self.check_stop()
 
-    def confirm(self, peer: int) -> None:
+    def confirm(self, peer: int, gossip: bool = True) -> None:
         """Level two — CONFIRMED_DEAD: fail the quarantined traffic and
         reconcile the survivors' finish frames."""
         if peer in self.confirmed:
@@ -532,10 +574,12 @@ class FailureService:
         if machine.tracer is not None:
             machine.tracer.instant(peer, "fail.confirmed", now,
                                    args={"gen": self.gen})
+        if gossip:
+            self._gossip("confirm", peer)
         machine._on_confirm(peer)
         self.check_stop()
 
-    def unsuspect(self, peer: int) -> None:
+    def unsuspect(self, peer: int, gossip: bool = True) -> None:
         """A merely-suspected peer delivered: the suspicion was false.
         Bump its incarnation and flush the quarantined traffic."""
         if peer in self.confirmed or peer in self.machine.dead_images:
@@ -557,8 +601,10 @@ class FailureService:
         # Flush after the heal: quarantined deliveries must find the
         # frames un-reconciled when their counter callbacks run.
         machine.network.unmark_suspect(peer)
+        if gossip:
+            self._gossip("unsuspect", peer)
 
-    def resurrect(self, peer: int) -> None:
+    def resurrect(self, peer: int, gossip: bool = True) -> None:
         """A *confirmed* peer delivered — the irreversible verdict was
         wrong after all.  Undo it: replay the reconciliation algebra in
         reverse so the peer's counter stamps count again."""
@@ -580,6 +626,8 @@ class FailureService:
                                    args={"gen": self.gen,
                                          "incarnation": self.incarnations[peer]})
         machine._on_heal(peer)
+        if gossip:
+            self._gossip("resurrect", peer)
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -614,3 +662,25 @@ class FailureService:
 def _heartbeat_handler(ctx) -> None:
     """Inline no-op: the delivery itself refreshed the last-heard clock
     through the transport's on_delivery hook."""
+
+
+def _make_member_handler(machine):
+    """Apply a gossiped membership transition, guarded so an already-
+    applied (or since-reversed) transition is a no-op — the idempotence
+    that keeps per-machine generation counters converging in process
+    mode (see :meth:`FailureService._gossip`)."""
+    def handle_member(ctx, op: str, peer: int) -> None:
+        service = machine.failure
+        if service is None:
+            return
+        if op == "suspect":
+            service.publish(peer, gossip=False)
+        elif op == "confirm":
+            service.confirm(peer, gossip=False)
+        elif op == "unsuspect":
+            if peer in service.suspects and peer not in service.confirmed:
+                service.unsuspect(peer, gossip=False)
+        elif op == "resurrect":
+            if peer in service.confirmed:
+                service.resurrect(peer, gossip=False)
+    return handle_member

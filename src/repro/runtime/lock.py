@@ -26,6 +26,24 @@ _REL = "lock.release"
 _GRANT = "lock.grant"
 
 
+def _ensure_handlers(machine: "Machine") -> None:
+    def handle_acquire(ctx, lock_name: str, token: int) -> None:
+        lock = machine.lock_by_name(lock_name)
+        lock._acquire_at(ctx.image, ctx.src, token)
+
+    def handle_release(ctx, lock_name: str) -> None:
+        lock = machine.lock_by_name(lock_name)
+        lock._release_at(ctx.image)
+
+    def handle_grant(ctx, token: int) -> None:
+        fut = machine.scratch.pop(("lock.grant", token))
+        fut.set_result(None)
+
+    machine.am.ensure_registered(_ACQ, handle_acquire)
+    machine.am.ensure_registered(_REL, handle_release)
+    machine.am.ensure_registered(_GRANT, handle_grant)
+
+
 class LockVar:
     """One lock per team member, addressable from any image."""
 
@@ -40,28 +58,7 @@ class LockVar:
         # lock over 8192 images costs nothing up front (DESIGN.md §13).
         self._held: set[int] = set()
         self._queues: dict[int, deque[tuple[int, int]]] = {}
-        self._ensure_handlers()
-
-    # -- handler plumbing -------------------------------------------------- #
-
-    def _ensure_handlers(self) -> None:
-        am = self.machine.am
-
-        def handle_acquire(ctx, lock_name: str, token: int) -> None:
-            lock = self.machine.lock_by_name(lock_name)
-            lock._acquire_at(ctx.image, ctx.src, token)
-
-        def handle_release(ctx, lock_name: str) -> None:
-            lock = self.machine.lock_by_name(lock_name)
-            lock._release_at(ctx.image)
-
-        def handle_grant(ctx, token: int) -> None:
-            fut = self.machine.scratch.pop(("lock.grant", token))
-            fut.set_result(None)
-
-        am.ensure_registered(_ACQ, handle_acquire)
-        am.ensure_registered(_REL, handle_release)
-        am.ensure_registered(_GRANT, handle_grant)
+        _ensure_handlers(machine)
 
     # -- home-side mechanics ------------------------------------------------ #
 

@@ -65,7 +65,8 @@ class Machine:
                  seed: int = 0, tracer=None,
                  faults: Optional[FaultPlan] = None,
                  racecheck: bool = False, schedule=None,
-                 failure_detection=None):
+                 failure_detection=None, backend: str = "sim",
+                 conduit=None, local_ranks: Optional[Sequence[int]] = None):
         if params is None:
             params = MachineParams.uniform(n_images)
         if params.n_images != n_images:
@@ -73,10 +74,41 @@ class Machine:
                 f"params describe {params.n_images} images, asked for "
                 f"{n_images}"
             )
+        if backend not in ("sim", "process"):
+            raise ValueError(
+                f"backend must be 'sim' or 'process', got {backend!r}")
+        #: execution substrate: "sim" (deterministic single-threaded
+        #: oracle) or "process" (this Machine is one worker of a real
+        #: multi-process run; see repro.backend)
+        self.backend = backend
+        if backend == "process":
+            if conduit is None or local_ranks is None:
+                raise ValueError(
+                    "backend='process' machines are built by the process "
+                    "launcher (repro.backend.parallel) with a conduit and "
+                    "their local rank set; use run_spmd(..., "
+                    "backend='process') or ProcessRunner")
+            for feature, flag in (("fault injection", faults is not None),
+                                  ("race checking", racecheck),
+                                  ("schedule exploration",
+                                   schedule is not None)):
+                if flag:
+                    raise ValueError(
+                        f"{feature} requires the deterministic simulator "
+                        "(backend='sim')")
+            #: world ranks whose main programs THIS process runs
+            self.local_ranks: Sequence[int] = tuple(sorted(local_ranks))
+        else:
+            self.local_ranks = range(n_images)
         self.n_images = n_images
         self.params = params
         self.seed = seed
-        self.sim = Simulator()
+        if backend == "process":
+            from repro.backend.realtime import RealtimeScheduler
+
+            self.sim = RealtimeScheduler()
+        else:
+            self.sim = Simulator()
         self.stats = Stats()
         self.tracer = tracer
         if tracer is not None:
@@ -88,9 +120,16 @@ class Machine:
         self.faults = faults
         if faults is not None and faults.seed is None:
             faults.bind(self.rng_pool[n_images + 1])
-        self.network = Network(self.sim, params, stats=self.stats,
-                               jitter_rng=self.rng_pool[n_images],
-                               tracer=tracer, faults=faults, seed=seed)
+        if backend == "process":
+            from repro.backend.transport import ProcessTransport
+
+            self.network = ProcessTransport(self.sim, params,
+                                            stats=self.stats,
+                                            conduit=conduit)
+        else:
+            self.network = Network(self.sim, params, stats=self.stats,
+                                   jitter_rng=self.rng_pool[n_images],
+                                   tracer=tracer, faults=faults, seed=seed)
         #: schedule-exploration source (DESIGN.md §10), or None.  When
         #: installed, same-instant tie-breaks and delivery lags become
         #: explicit choice points driven by the source; with None the
@@ -103,7 +142,10 @@ class Machine:
             self.schedule_source = source
             self.sim.set_schedule_source(source)
             self.network.schedule_source = source
-        self.sim.add_drain_hook(self._liveness_check)
+        if backend == "sim":
+            # A drained queue is meaningful only in virtual time; a
+            # wall-clock worker is merely idle between messages.
+            self.sim.add_drain_hook(self._liveness_check)
         credits = None
         if params.flow_credits is not None:
             credits = CreditManager(
@@ -114,6 +156,10 @@ class Machine:
             )
         self.credits = credits
         self.am = AMLayer(self.network, credit_manager=credits)
+        if backend == "process":
+            # The transport unpickles inbound frames against this
+            # machine's registries and dispatches through the AM layer.
+            self.network.bind(self)
         self.gasnet = Gasnet(self.am)
         self.busy = IntervalAccumulator(n_images)
 
@@ -169,8 +215,14 @@ class Machine:
         self._op_ids = itertools.count()
         # Spawn identity stream for recovery idempotency keys; separate
         # from _op_ids so enabling the ledger never shifts op ids (which
-        # appear in traces and race reports).
-        self._spawn_ids = itertools.count()
+        # appear in traces and race reports).  In process mode each
+        # worker strides by n_images from its own rank, so ids stay
+        # globally unique without coordination (the dedup registry at an
+        # executor must distinguish every spawner's spawns).
+        if backend == "process":
+            self._spawn_ids = itertools.count(self.local_ranks[0], n_images)
+        else:
+            self._spawn_ids = itertools.count()
         self._main_tasks: list[Task] = []
 
         #: happens-before race detector, or None (the default — every
@@ -182,6 +234,27 @@ class Machine:
             self.racecheck = RaceDetector(self)
 
         self.am.ensure_registered(_EVENT_POST, self._handle_event_post)
+        if backend == "process":
+            self._register_remote_handlers()
+
+    def _register_remote_handlers(self) -> None:
+        """Eagerly register every AM handler family.
+
+        Under the simulator lazy registration is safe: the first caller
+        anywhere registers a handler on the single shared machine, so by
+        the time an AM is *delivered* its protocol is always known.
+        With one machine per OS process, an inbound AM can arrive before
+        this process ever makes the corresponding local call (e.g. a
+        spawn lands here before this rank's own first spawn) — a worker
+        must know every protocol from birth."""
+        from repro.core import (collectives, collectives_algos,
+                                collectives_async, copy_async, spawn)
+        from repro.core.termination import ft_epoch, vector_count
+        from repro.runtime import lock as lock_mod
+        for mod in (collectives, collectives_algos, collectives_async,
+                    copy_async, spawn, ft_epoch, vector_count, lock_mod):
+            mod._ensure_handlers(self)
+        self.am.ensure_registered("event.fire", self._handle_event_fire)
 
     # ------------------------------------------------------------------ #
     # Registries
@@ -461,9 +534,11 @@ class Machine:
 
     def launch(self, kernel: Callable, args: tuple = ()) -> list[Task]:
         """Start ``kernel(img, *args)`` as the main program of every
-        image.  Call :meth:`run` afterwards."""
+        *local* image (every image under the simulator; just this
+        worker's rank in process mode).  Call :meth:`run` afterwards
+        (sim), or let the worker loop drive (process)."""
         tasks = []
-        for rank in range(self.n_images):
+        for rank in self.local_ranks:
             activation = Activation(self.image_state(rank), name="main")
             img = Image(self, rank, activation)
             tasks.append(Task(self.sim, kernel(img, *args),
@@ -529,6 +604,10 @@ class Machine:
         blocked ranks if the machine wedges, or lets the liveness
         watchdog's :class:`~repro.sim.engine.LivenessError` propagate
         when injected faults stalled the workload."""
+        if self.backend != "sim":
+            raise RuntimeError(
+                "Machine.run drives the simulator; process-mode workers "
+                "are driven by repro.backend.parallel")
         self.sim.run(max_events=max_events)
         dead = self.dead_images
         blocked = [t.name for t in self._main_tasks
@@ -559,7 +638,8 @@ def run_spmd(kernel: Callable, n_images: int,
              setup: Optional[Callable[[Machine], None]] = None,
              faults: Optional[FaultPlan] = None,
              racecheck: bool = False, schedule=None,
-             failure_detection=None) -> tuple[Machine, list[Any]]:
+             failure_detection=None,
+             backend: str = "sim") -> tuple[Any, list[Any]]:
     """Build a machine, run ``kernel`` SPMD on every image, return
     ``(machine, per-rank results)``.
 
@@ -576,7 +656,27 @@ def run_spmd(kernel: Callable, n_images: int,
     :class:`~repro.runtime.failure.FailureConfig` (with
     ``recover=True`` lost shipped functions re-execute on survivors).
     Dead images report ``None`` in the results list.
+
+    ``backend`` selects the execution substrate: ``"sim"`` (default)
+    runs every image on the deterministic simulator and returns the
+    ``Machine``; ``"process"`` forks one OS process per image and
+    returns a :class:`~repro.backend.parallel.ParallelRun` in the
+    machine slot (same results-list semantics).  ``faults``,
+    ``racecheck``, ``schedule`` and ``max_events`` are
+    simulator-only.
     """
+    if backend == "process":
+        if faults is not None or racecheck or schedule is not None:
+            raise ValueError(
+                "fault injection, race checking and schedule "
+                "exploration require backend='sim'")
+        if max_events is not None:
+            raise ValueError("max_events is a simulator-only budget")
+        from repro.backend.parallel import run_spmd_process
+
+        return run_spmd_process(
+            kernel, n_images, params=params, seed=seed, args=args,
+            setup=setup, failure_detection=failure_detection)
     machine = Machine(n_images, params=params, seed=seed, faults=faults,
                       racecheck=racecheck, schedule=schedule,
                       failure_detection=failure_detection)

@@ -1,0 +1,1 @@
+"""Tests for the true-parallel execution backend (DESIGN.md §14)."""

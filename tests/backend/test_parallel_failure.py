@@ -1,0 +1,69 @@
+"""Fault tolerance against *real* process deaths (DESIGN.md §14).
+
+PR-5/6 built failure detection and fault-tolerant finish against
+simulated fail-stop crashes.  Here the crash is genuine: the
+coordinator SIGKILLs one forked worker mid-run, the survivors' phi /
+heartbeat detectors notice over the real conduit, membership gossip
+converges, and the ft_epoch detector re-executes the victim's lost
+spawns — the final tree count must still equal sequential ground
+truth, exactly.
+
+Timing protocol (the part that makes the test exact rather than racy):
+every rank passes a barrier, rank 0 then sets an inter-process Event
+the coordinator waits on, and all ranks sit in a grace-period timer
+before touching any work.  The kill lands inside that window, so the
+victim is provably past launch (its death is a runtime crash, not a
+bootstrap failure) and provably before it processed a single node (so
+"survivor counts sum to the whole tree" is an equality, not a bound).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.apps.uts import (TreeParams, UTSConfig, sequential_tree_size,
+                            uts_kernel)
+from repro.backend.parallel import ProcessRunner
+from repro.runtime.failure import FailureConfig
+
+pytestmark = pytest.mark.parallel
+
+GRACE_S = 3.0
+VICTIM = 2
+
+
+def _kernel_with_kill_window(img, config, ready_evt, grace):
+    yield from img.barrier()
+    if img.rank == 0:
+        ready_evt.set()
+    yield from img.compute(grace)
+    return (yield from uts_kernel(img, config))
+
+
+def test_sigkilled_worker_detected_and_work_recovered():
+    config = UTSConfig(tree=TreeParams(b0=2.0, max_depth=4, seed=19),
+                       node_cost=0.0)
+    truth = sequential_tree_size(config.tree)
+    ctx = multiprocessing.get_context("fork")
+    ready = ctx.Event()
+    detection = FailureConfig(period=0.05, timeout=0.5,
+                              confirm_timeout=1.5, recover=True)
+    runner = ProcessRunner(_kernel_with_kill_window, 4,
+                           args=(config, ready, GRACE_S),
+                           failure_detection=detection)
+    runner.start()
+    assert ready.wait(timeout=30), "ranks never reached the barrier"
+    runner.kill_worker(VICTIM)
+    run = runner.wait(timeout=60)
+
+    assert run.dead_images == {VICTIM}
+    assert run.results[VICTIM] is None
+    survivors = sum(n for n in run.results if n is not None)
+    # Exact: the victim died before processing any node, and recover
+    # mode re-executed its lost spawns on the survivors.
+    assert survivors == truth
+    # The death was *observed*, not assumed: survivor detectors
+    # confirmed the peer over the real conduit.
+    assert run.stats["fail.confirmed"] >= 1
