@@ -46,6 +46,10 @@ from bench_simulator_throughput import (  # noqa: E402
     run_raw_event_loop,
     run_task_switch,
 )
+from bench_fuzz_throughput import (  # noqa: E402
+    FUZZ_SCHEDULES,
+    run_fuzz_schedules,
+)
 from bench_parallel import measure_parallel  # noqa: E402
 from bench_weak_scaling import measure_weak_scaling  # noqa: E402
 
@@ -59,6 +63,8 @@ BENCHES = [
      TASK_STEPS * TASK_COUNT, "task switches"),
     ("test_am_round_trip_throughput", run_am_round_trip,
      AM_IMAGES * AM_ROUNDS, AM_IMAGES * AM_ROUNDS, "spawns"),
+    ("test_fuzz_schedule_throughput", run_fuzz_schedules, FUZZ_SCHEDULES,
+     FUZZ_SCHEDULES, "schedules"),
 ]
 
 
@@ -150,6 +156,11 @@ def main() -> None:
         "rounds": rounds,
         "calibration_s": run["calibration_s"],
         "benches": run["benches"],
+        # headline number for the fuzzing service (DESIGN.md §15); the
+        # regression gate runs on the bench's normalized_cost, this key
+        # just makes the throughput easy to quote
+        "fuzz_schedules_per_sec":
+            run["benches"]["test_fuzz_schedule_throughput"]["per_second"],
     }
 
     if not args.skip_weak_scaling:

@@ -28,6 +28,7 @@ from repro.explore.strategies import (
 from repro.explore.explorer import (
     ExplorationReport,
     Explorer,
+    Finding,
     RunOutcome,
     check_replay_determinism,
     make_spmd_target,
@@ -40,6 +41,7 @@ __all__ = [
     "DefaultSource",
     "ExplorationReport",
     "Explorer",
+    "Finding",
     "PCTSource",
     "PCTStrategy",
     "RandomWalkSource",

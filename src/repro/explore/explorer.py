@@ -38,6 +38,7 @@ from repro.explore.schedule import (
 __all__ = [
     "Explorer",
     "ExplorationReport",
+    "Finding",
     "RunOutcome",
     "check_replay_determinism",
     "make_spmd_target",
@@ -57,11 +58,16 @@ class RunOutcome:
                            # determinism means identical schedules give
                            # identical fingerprints
     sim_time: float = 0.0
+    fault_picks: Optional[dict] = None  # {menu key: chosen label}, from
+                                        # FaultPlan.resolved_faults()
 
     def to_json(self) -> dict:
-        return {"failed": self.failed, "kind": self.kind,
-                "message": self.message, "fingerprint": self.fingerprint,
-                "sim_time": self.sim_time}
+        out = {"failed": self.failed, "kind": self.kind,
+               "message": self.message, "fingerprint": self.fingerprint,
+               "sim_time": self.sim_time}
+        if self.fault_picks:
+            out["fault_picks"] = self.fault_picks
+        return out
 
 
 def _outcome_fingerprint(machine: Optional[Machine], results: Any,
@@ -89,6 +95,7 @@ def make_spmd_target(kernel: Callable, n_images: int, *,
                      args: tuple = (), params=None, seed: int = 0,
                      faults=None, racecheck: bool = False,
                      invariant: Optional[Callable] = None,
+                     failure_detection=None,
                      max_events: Optional[int] = 200_000) -> Callable:
     """Build a ``target(source) -> RunOutcome`` around an SPMD kernel.
 
@@ -96,7 +103,9 @@ def make_spmd_target(kernel: Callable, n_images: int, *,
     per-run state never leaks between schedules), runs the kernel under
     ``source``, and classifies the outcome.  ``invariant(machine,
     results)`` may return an error string (or raise AssertionError) to
-    flag an application-level violation; ``max_events`` bounds runaway
+    flag an application-level violation; ``failure_detection`` is passed
+    through to the machine (heartbeat detectors, so kernels exercising
+    crash menus can observe suspicions); ``max_events`` bounds runaway
     schedules — hitting the budget is classified ``"budget"`` and *not*
     counted as a failure (an adversarial schedule can always starve
     progress; that is a liveness question, not this bug's).
@@ -105,7 +114,8 @@ def make_spmd_target(kernel: Callable, n_images: int, *,
     def target(source: ScheduleSource) -> RunOutcome:
         plan = faults.clone() if faults is not None else None
         machine = Machine(n_images, params=params, seed=seed, faults=plan,
-                          racecheck=racecheck, schedule=source)
+                          racecheck=racecheck, schedule=source,
+                          failure_detection=failure_detection)
         if setup is not None:
             setup(machine)
         machine.launch(kernel, args=args)
@@ -143,6 +153,8 @@ def make_spmd_target(kernel: Callable, n_images: int, *,
             fingerprint=_outcome_fingerprint(machine, results, kind,
                                              message),
             sim_time=machine.sim.now,
+            fault_picks=(plan.resolved_faults() if plan is not None
+                         else None) or None,
         )
 
     # The plan's config rides on the target so the explorer can stamp it
@@ -156,6 +168,43 @@ def make_spmd_target(kernel: Callable, n_images: int, *,
 
 
 @dataclass
+class Finding:
+    """One distinct failure a search produced: the failing schedule,
+    its outcome, the minimized reproduction, and the dedup identity
+    ``(kind, fingerprint)`` — the outcome kind plus the choice-tree
+    fingerprint of the *minimized* schedule, so two runs that shrink to
+    the same essential core count as one finding."""
+
+    schedule: Schedule
+    outcome: RunOutcome
+    minimized: Optional[Schedule] = None
+    found_at: Optional[int] = None
+
+    @property
+    def kind(self) -> str:
+        return self.outcome.kind
+
+    @property
+    def fingerprint(self) -> str:
+        return (self.minimized or self.schedule).fingerprint()
+
+    @property
+    def identity(self) -> tuple:
+        return (self.kind, self.fingerprint)
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "found_at": self.found_at,
+            "outcome": self.outcome.to_json(),
+            "schedule_len": len(self.schedule),
+            "minimized_len": (len(self.minimized)
+                              if self.minimized else None),
+        }
+
+
+@dataclass
 class ExplorationReport:
     """What one strategy's search produced."""
 
@@ -166,6 +215,7 @@ class ExplorationReport:
     schedule: Optional[Schedule] = None     # first failing schedule
     outcome: Optional[RunOutcome] = None
     minimized: Optional[Schedule] = None
+    findings: List[Finding] = field(default_factory=list)
 
     def to_json(self) -> dict:
         return {
@@ -179,6 +229,7 @@ class ExplorationReport:
                               if self.minimized else None),
             "minimized_nonzero": (self.minimized.nonzero_choices()
                                   if self.minimized else None),
+            "findings": [f.to_json() for f in self.findings],
         }
 
 
@@ -192,12 +243,28 @@ class Explorer:
         self.minimize = minimize
         self.minimize_budget = minimize_budget
 
-    def run_strategy(self, strategy) -> ExplorationReport:
-        """Run up to ``budget`` schedules from ``strategy``; stop at the
-        first failure (minimizing it if configured)."""
+    def run_strategy(self, strategy, stop_on_first: bool = True,
+                     max_findings: Optional[int] = None
+                     ) -> ExplorationReport:
+        """Run up to ``budget`` schedules from ``strategy``.
+
+        With ``stop_on_first=True`` (default) the search stops at the
+        first failure, minimizing it if configured.  With
+        ``stop_on_first=False`` it keeps exploring, collecting every
+        *distinct* failure — deduped by :attr:`Finding.identity`, i.e.
+        outcome kind plus the minimized schedule's choice-tree
+        fingerprint — until the budget, the strategy, or
+        ``max_findings`` runs out.  The service loop uses this mode to
+        harvest several bugs from one sweep.
+        """
+        name = getattr(strategy, "name", type(strategy).__name__)
         runs = 0
+        findings: List[Finding] = []
+        seen_identities: set = set()
         for i in range(self.budget):
             if strategy.exhausted:
+                break
+            if max_findings is not None and len(findings) >= max_findings:
                 break
             inner = strategy.begin_run(i)
             recorder = RecordingSource(inner)
@@ -205,30 +272,37 @@ class Explorer:
             runs += 1
             schedule = Schedule(
                 recorder.records,
-                meta={"strategy": getattr(strategy, "name",
-                                          type(strategy).__name__),
-                      "run": i},
+                meta={"strategy": name, "run": i},
                 fault_plan=getattr(self.target, "fault_config", None),
                 outcome=outcome.to_json(),
                 lag_steps=recorder.lag_steps,
                 lag_slack=recorder.lag_slack,
             )
             strategy.observe(schedule, outcome)
-            if outcome.failed:
-                minimized = None
-                if self.minimize:
-                    minimized = minimize_schedule(
-                        self.target, schedule,
-                        budget=self.minimize_budget)
-                return ExplorationReport(
-                    strategy=schedule.meta["strategy"],
-                    schedules_run=runs, found=True, found_at=i,
-                    schedule=schedule, outcome=outcome,
-                    minimized=minimized,
-                )
+            if not outcome.failed:
+                continue
+            minimized = None
+            if self.minimize:
+                minimized = minimize_schedule(
+                    self.target, schedule, budget=self.minimize_budget)
+            finding = Finding(schedule=schedule, outcome=outcome,
+                              minimized=minimized, found_at=i)
+            if finding.identity in seen_identities:
+                continue
+            seen_identities.add(finding.identity)
+            findings.append(finding)
+            if stop_on_first:
+                break
+        if findings:
+            first = findings[0]
+            return ExplorationReport(
+                strategy=name, schedules_run=runs, found=True,
+                found_at=first.found_at, schedule=first.schedule,
+                outcome=first.outcome, minimized=first.minimized,
+                findings=findings,
+            )
         return ExplorationReport(
-            strategy=getattr(strategy, "name", type(strategy).__name__),
-            schedules_run=runs, found=False,
+            strategy=name, schedules_run=runs, found=False,
         )
 
 

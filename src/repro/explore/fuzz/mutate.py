@@ -1,0 +1,149 @@
+"""Mutators over recorded choice sequences.
+
+A corpus entry is a list of :class:`ChoiceRecord`; a mutation is a new
+choice list fed back through lenient replay (divergence past the edit
+is fine — the run re-records itself).  The mutators are structure-aware
+in the cheap sense: they read each record's *domain* and *key*, nothing
+about the application.
+
+The two directed mutators carry most of the search:
+
+- ``bump_fault`` rewrites one ``"fault"`` record to a menu alternative
+  the coverage map has never seen, so the fault menus are swept
+  systematically (≈ one run per alternative) instead of waiting on the
+  birthday odds of random draws;
+- ``raise_key_group`` picks one delivery-lag key and raises *every*
+  record of that key — the per-message lags of one logical channel
+  (e.g. all the done-posts of a completion protocol) usually conspire,
+  and pushing the whole group crosses windows that individual flips
+  approach only stepwise.
+
+The rest are classic havoc: single-point tweaks, span zeroing,
+truncation.  All randomness flows through the caller's ``rng`` so a
+fuzzing run is a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.explore.schedule import ChoiceRecord
+
+__all__ = ["mutate_records"]
+
+
+def _replace(records: List[ChoiceRecord], i: int,
+             choice: int) -> List[ChoiceRecord]:
+    out = list(records)
+    out[i] = out[i].replace(choice)
+    return out
+
+
+def _indices(records: Sequence[ChoiceRecord], domain: str) -> List[int]:
+    return [i for i, r in enumerate(records) if r.domain == domain]
+
+
+def bump_fault(records: List[ChoiceRecord], rng: random.Random,
+               fault_untried: Dict[int, List[int]]
+               ) -> Optional[List[ChoiceRecord]]:
+    """Rewrite one fault record to an untried menu alternative."""
+    positions = sorted(fault_untried)
+    if not positions:
+        return None
+    i = positions[rng.randrange(len(positions))]
+    choices = fault_untried[i]
+    return _replace(records, i, choices[rng.randrange(len(choices))])
+
+
+def raise_key_group(records: List[ChoiceRecord],
+                    rng: random.Random) -> Optional[List[ChoiceRecord]]:
+    """Raise every lag record of one key to its maximum (or bump all
+    by one) — move a whole logical channel at once."""
+    keys = sorted({r.key for r in records
+                   if r.domain == "lag" and r.key and r.n > 1})
+    if not keys:
+        return None
+    key = keys[rng.randrange(len(keys))]
+    to_max = rng.random() < 0.5
+    out = list(records)
+    for i, r in enumerate(out):
+        if r.domain == "lag" and r.key == key:
+            out[i] = r.replace(r.n - 1 if to_max
+                               else min(r.choice + 1, r.n - 1))
+    return out
+
+
+def tweak_points(records: List[ChoiceRecord], rng: random.Random,
+                 domain: str) -> Optional[List[ChoiceRecord]]:
+    """Randomize one to three records of ``domain``."""
+    idx = [i for i in _indices(records, domain) if records[i].n > 1]
+    if not idx:
+        return None
+    out = list(records)
+    for _ in range(rng.randrange(1, 4)):
+        i = idx[rng.randrange(len(idx))]
+        out[i] = out[i].replace(rng.randrange(out[i].n))
+    return out
+
+
+def zero_span(records: List[ChoiceRecord],
+              rng: random.Random) -> Optional[List[ChoiceRecord]]:
+    """Reset a contiguous span to the baseline choice 0."""
+    if not records:
+        return None
+    lo = rng.randrange(len(records))
+    hi = min(len(records), lo + 1 + rng.randrange(8))
+    out = list(records)
+    for i in range(lo, hi):
+        if out[i].choice != 0:
+            out[i] = out[i].replace(0)
+    return out
+
+
+def truncate(records: List[ChoiceRecord],
+             rng: random.Random) -> Optional[List[ChoiceRecord]]:
+    """Keep a prefix; replay answers baseline past the end."""
+    if len(records) < 2:
+        return None
+    return list(records[:rng.randrange(1, len(records))])
+
+
+def havoc(records: List[ChoiceRecord],
+          rng: random.Random) -> Optional[List[ChoiceRecord]]:
+    """Independent rerolls with small probability per record."""
+    if not records:
+        return None
+    out = list(records)
+    for i, r in enumerate(out):
+        if r.n > 1 and rng.random() < 0.08:
+            out[i] = r.replace(rng.randrange(r.n))
+    return out
+
+
+def mutate_records(records: Sequence[ChoiceRecord], rng: random.Random,
+                   fault_untried: Optional[Dict[int, List[int]]] = None
+                   ) -> List[ChoiceRecord]:
+    """One mutation of ``records``.  The directed fault bump runs
+    whenever untried menu alternatives remain (sweeping the menus is
+    always the best value); otherwise a weighted pick of the generic
+    mutators, falling back across them until one applies."""
+    records = list(records)
+    if fault_untried and rng.random() < 0.8:
+        out = bump_fault(records, rng, fault_untried)
+        if out is not None:
+            return out
+    weighted = (
+        [raise_key_group] * 3
+        + [lambda r, g: tweak_points(r, g, "lag")] * 3
+        + [lambda r, g: tweak_points(r, g, "ready")] * 2
+        + [havoc] * 2
+        + [zero_span]
+        + [truncate]
+    )
+    start = rng.randrange(len(weighted))
+    for off in range(len(weighted)):
+        out = weighted[(start + off) % len(weighted)](records, rng)
+        if out is not None:
+            return out
+    return records

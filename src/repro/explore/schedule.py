@@ -36,6 +36,7 @@ from repro.sim.engine import ChoicePoint
 __all__ = [
     "ChoiceRecord",
     "DefaultSource",
+    "SCHEDULE_SCHEMA",
     "RecordingSource",
     "ReplayDivergence",
     "ReplaySource",
@@ -45,6 +46,14 @@ __all__ = [
 ]
 
 SCHEDULE_VERSION = 1
+
+#: Schema generation of the JSON artifact layout.  Bumped when the
+#: document gains fields older readers must not silently drop.  Loading
+#: is *forward-compatible within a generation*: documents written by a
+#: newer minor revision (same or lower ``schema``) load fine; documents
+#: from a future generation (higher ``schema``) are refused with a
+#: clear error instead of being misread.
+SCHEDULE_SCHEMA = 2
 
 #: Default number of discrete delivery-lag alternatives per transmission.
 DEFAULT_LAG_STEPS = 3
@@ -259,11 +268,24 @@ class Schedule:
                             lag_steps=self.lag_steps,
                             lag_slack=self.lag_slack)
 
+    def fingerprint(self) -> str:
+        """Choice-tree fingerprint: a digest of exactly what replay
+        consumes — the (domain, n, choice) triple at every position plus
+        the lag parameters.  Two schedules with equal fingerprints replay
+        identically, so this is the corpus/findings dedup key."""
+        import hashlib
+        h = hashlib.sha256()
+        h.update(f"lag:{self.lag_steps}:{self.lag_slack!r};".encode())
+        for r in self.records:
+            h.update(f"{r.domain},{r.n},{r.choice};".encode())
+        return h.hexdigest()
+
     # -- serialization ------------------------------------------------- #
 
     def to_json(self) -> dict:
         return {
             "version": SCHEDULE_VERSION,
+            "schema": SCHEDULE_SCHEMA,
             "meta": self.meta,
             "lag_steps": self.lag_steps,
             "lag_slack": self.lag_slack,
@@ -277,6 +299,12 @@ class Schedule:
         version = data.get("version")
         if version != SCHEDULE_VERSION:
             raise ValueError(f"unsupported schedule version {version!r}")
+        schema = data.get("schema", 1)   # pre-schema artifacts are gen 1
+        if not isinstance(schema, int) or schema > SCHEDULE_SCHEMA:
+            raise ValueError(
+                f"schedule artifact written by a newer schema generation "
+                f"({schema!r} > supported {SCHEDULE_SCHEMA}); refusing to "
+                f"load it with fields silently dropped")
         return cls(
             records=[ChoiceRecord.from_json(r) for r in data["choices"]],
             meta=data.get("meta"),

@@ -20,12 +20,14 @@ from repro.harness.experiments import (
     chaos_resilience,
     crash_recovery,
     explore_search,
+    fuzz_service,
     grayfail_detectors,
     races_audit,
 )
 
 __all__ = [
     "explore_search",
+    "fuzz_service",
     "Table",
     "format_seconds",
     "fig05_barrier_failure",

@@ -23,6 +23,7 @@ from repro.harness import (
     chaos_resilience,
     crash_recovery,
     explore_search,
+    fuzz_service,
     fig05_barrier_failure,
     grayfail_detectors,
     fig12_cofence_micro,
@@ -87,6 +88,10 @@ EXPERIMENTS = {
         budget=150 if quick else 500,
         rounds=2 if quick else 4,
         minimize_budget=60 if quick else 200)),
+    "fuzz": (lambda quick: fuzz_service(
+        rw_budget=1500 if quick else 6000,
+        fuzz_budget=400 if quick else 1500,
+        seeds=(0,) if quick else (0, 1, 2, 3))),
     "races": (lambda quick: races_audit(
         n_images=4 if quick else 8,
         tree=_QUICK_TREE if quick else None,

@@ -864,3 +864,111 @@ def crash_recovery(n_images: int = 4,
         f"ImageFailureError does not name image {crash_image}: "
         f"{results['report_dead']}")
     return results
+
+
+# --------------------------------------------------------------------- #
+# Fuzzing service — coverage-guided search vs blind random walk
+# --------------------------------------------------------------------- #
+
+def fuzz_service(rw_budget: int = 6000, fuzz_budget: int = 1500,
+                 workers: int = 0, seeds: Sequence[int] = (0, 1, 2, 3),
+                 lag_steps: int = 4,
+                 findings_dir: Optional[str] = None,
+                 quiet: bool = False) -> dict:
+    """Chaos-fuzzing acceptance experiment (DESIGN.md §15): the
+    coverage-guided service must find both seeded bugs — the ordering
+    bug and the crash-recovery double-count — with an order of
+    magnitude fewer schedules than a single-process random walk given
+    the same seeds and the same search space.
+
+    The recovery bug is the stress case: its crash menu composes with
+    per-message delivery lags through one recorded choice stream, and
+    the failing conjunction (the one non-decoy crash time *and* every
+    completion post lagged past it) is staged — each partially-lagged
+    schedule strands one more work item and re-executes one more
+    recovery spawn, visible to the coverage map as new per-key record
+    counts long before the invariant trips.  Random walk has to roll
+    the whole conjunction at once; the corpus climbs it.
+
+    ``workers=0`` runs the service inline (deterministic);
+    ``workers=N`` exercises the multiprocessing pool.  ``lag_steps``
+    sets the delivery-lag quantization both searchers face.
+    """
+    from repro.explore import Explorer, RandomWalkStrategy
+    from repro.explore.fuzz import FuzzConfig, FuzzService, TargetSpec
+
+    targets = {
+        "ordering_bug": TargetSpec(
+            "repro.apps.ordering_bug:make_ordering_bug_target"),
+        "recovery_bug": TargetSpec(
+            "repro.apps.recovery_bug:make_recovery_bug_target"),
+    }
+
+    results: dict = {"targets": {}, "seeds": list(seeds),
+                     "workers": workers}
+    totals = {"rw": 0, "fuzz": 0}
+    for name, spec in targets.items():
+        target = spec.build()
+        rows = []
+        for seed in seeds:
+            explorer = Explorer(target, budget=rw_budget, minimize=False)
+            rw = explorer.run_strategy(
+                RandomWalkStrategy(seed=seed, lag_steps=lag_steps))
+            rw_spent = (rw.found_at + 1 if rw.found else rw_budget)
+
+            service = FuzzService(
+                spec,
+                FuzzConfig(budget=fuzz_budget, workers=workers,
+                           seed=seed, lag_steps=lag_steps,
+                           max_findings=1),
+                findings_dir=findings_dir)
+            report = service.run()
+            fuzz_spent = (report.first_find_at
+                          if report.first_find_at is not None
+                          else fuzz_budget)
+            rows.append({
+                "seed": seed,
+                "rw_found": rw.found, "rw_spent": rw_spent,
+                "fuzz_found": report.found, "fuzz_spent": fuzz_spent,
+                "fuzz_verified": all(f.verified
+                                     for f in report.findings),
+                "corpus": report.corpus_size,
+                "coverage": report.coverage_features,
+                "schedules_per_sec": report.schedules_per_sec,
+            })
+            totals["rw"] += rw_spent
+            totals["fuzz"] += fuzz_spent
+        results["targets"][name] = rows
+
+    results["total_rw"] = totals["rw"]
+    results["total_fuzz"] = totals["fuzz"]
+    results["speedup"] = (totals["rw"] / totals["fuzz"]
+                          if totals["fuzz"] else float("inf"))
+    results["ok"] = all(
+        row["rw_found"] is not None and row["fuzz_found"]
+        and row["fuzz_verified"]
+        for rows in results["targets"].values() for row in rows)
+
+    if not quiet:
+        table = Table(
+            f"Chaos fuzzing — schedules to first finding, random walk "
+            f"vs coverage-guided (lag_steps={lag_steps}, "
+            f"workers={workers})",
+            ["target", "seed", "random walk", "fuzz service",
+             "per-seed ratio"],
+        )
+        for name, rows in results["targets"].items():
+            for row in rows:
+                rw_s = (str(row["rw_spent"]) if row["rw_found"]
+                        else f">{row['rw_spent']}")
+                fz_s = (str(row["fuzz_spent"]) if row["fuzz_found"]
+                        else f">{row['fuzz_spent']}")
+                ratio = row["rw_spent"] / max(1, row["fuzz_spent"])
+                table.add_row([name, row["seed"], rw_s, fz_s,
+                               f"{ratio:.1f}x"])
+        table.print()
+        print(f"totals: random walk {totals['rw']} vs fuzz "
+              f"{totals['fuzz']} schedules -> "
+              f"{results['speedup']:.1f}x fewer; findings "
+              f"{'all verified' if results['ok'] else 'INCOMPLETE'}")
+    return results

@@ -457,6 +457,28 @@ class FaultPlan:
                     None if heal_after is None else t0 + heal_after))
         self._resolved_partitions = tuple(resolved)
 
+    def resolved_faults(self) -> dict[str, str]:
+        """How this run's fault menus resolved, as ``{menu key: chosen
+        label}`` using the same keys/labels the ``"fault"`` choice
+        points carry (``crash@<image>`` / ``partition@<i>``, labels
+        ``"none"`` or ``"t=<time>"``).  The fuzzing service records this
+        next to each finding and feeds it to the coverage map, so menu
+        resolutions are first-class coverage features.  Empty when the
+        plan has no menus; per-run state, like the resolutions
+        themselves."""
+        picks: dict[str, str] = {}
+        for image in sorted(self.crash_choices):
+            t = self._resolved_crashes.get(image)
+            picks[f"crash@{image}"] = "none" if t is None else f"t={t:g}"
+        resolved_starts = {p.groups: p.start
+                          for p in self._resolved_partitions}
+        for i, (groups, starts, heal_after) in enumerate(
+                self.partition_choices):
+            t0 = resolved_starts.get(groups)
+            picks[f"partition@{i}"] = ("none" if t0 is None
+                                       else f"t={t0:g}")
+        return picks
+
     def scheduled_crashes(self) -> dict[int, float]:
         """Concrete fail-stop crashes for this run: the fixed
         ``crash_at`` script merged with any menu picks (earliest time

@@ -1,0 +1,173 @@
+"""The seeded crash-recovery bug (the fuzzing service's acceptance
+target).
+
+These tests pin the app's *shape* — the empirical timeline constants
+the crash menu encodes, the incremental re-apply ladder the coverage
+signal climbs, and the fact that only the full conjunction (the one
+magic crash time plus every done-post lagged past it) trips the
+invariant while every decoy stays clean.  If engine timing changes move
+the baseline delivery times, these tests fail before the fuzzing
+acceptance runs start silently finding nothing.
+"""
+
+import pytest
+
+from repro.apps.recovery_bug import (
+    COORDINATOR,
+    STORE,
+    WORKER,
+    RecoveryBugConfig,
+    default_crash_menu,
+    make_recovery_bug_target,
+    run_recovery_bug,
+)
+from repro.explore.schedule import (
+    DefaultSource,
+    RecordingSource,
+    ReplaySource,
+)
+from repro.net.faults import FaultPlan
+
+CONFIG = RecoveryBugConfig()
+MENU = default_crash_menu(CONFIG)
+#: the one reachable-by-lag-only candidate, just past the last baseline
+#: done-post delivery
+MAGIC = CONFIG.items * CONFIG.work_cost + 3.25e-6
+#: fault-menu alternative index for MAGIC (0 is "no crash")
+MAGIC_CHOICE = MENU.index(MAGIC) + 1
+DONE_KEY = f"event.post:{WORKER}->{COORDINATOR}"
+
+
+def record_baseline():
+    """Record the baseline run (crash menu present, every menu and lag
+    choice at its default) and return the records."""
+    plan = FaultPlan().crash_choice(WORKER, MENU)
+    recorder = RecordingSource(DefaultSource())
+    result = run_recovery_bug(CONFIG, faults=plan, schedule=recorder)
+    assert result.ok, result
+    return recorder.records
+
+
+def replay(records):
+    """Lenient replay (the run re-records itself past any divergence),
+    the way fuzzing mutations execute."""
+    plan = FaultPlan().crash_choice(WORKER, MENU)
+    source = ReplaySource(records, strict=False)
+    return run_recovery_bug(CONFIG, faults=plan, schedule=source)
+
+
+def with_crash(records, choice, lagged_dones=0):
+    """The baseline records with the crash menu resolved to ``choice``
+    and the first ``lagged_dones`` done-posts lagged to max."""
+    out = []
+    remaining = lagged_dones
+    for r in records:
+        if r.domain == "fault" and r.key == f"crash@{WORKER}":
+            r = r.replace(choice)
+        elif r.domain == "lag" and r.key == DONE_KEY and remaining > 0:
+            r = r.replace(r.n - 1)
+            remaining -= 1
+        out.append(r)
+    return out
+
+
+class TestBaseline:
+    def test_clean_run_is_exact(self):
+        result = run_recovery_bug()
+        assert result.ok
+        assert result.store == CONFIG.items
+        assert result.done_count == CONFIG.items
+        assert not result.recovered
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RecoveryBugConfig(items=0)
+        with pytest.raises(ValueError):
+            RecoveryBugConfig(work_cost=0)
+
+    def test_drift_tolerance_is_items_minus_one(self):
+        assert RecoveryBugConfig(items=5).drift_tolerance == 4
+
+
+class TestCrashMenu:
+    def test_menu_is_sorted_unique_and_contains_magic(self):
+        assert list(MENU) == sorted(set(MENU))
+        assert MAGIC in MENU
+        assert len(MENU) == 14
+
+    def test_baseline_records_carry_the_menu(self):
+        records = record_baseline()
+        fault = [r for r in records if r.domain == "fault"]
+        assert len(fault) == 1
+        assert fault[0].key == f"crash@{WORKER}"
+        assert fault[0].n == len(MENU) + 1      # + "no crash"
+        assert fault[0].labels[MAGIC_CHOICE] == f"t={MAGIC:g}"
+
+    def test_one_done_lag_record_per_item(self):
+        records = record_baseline()
+        dones = [r for r in records if r.key == DONE_KEY]
+        assert len(dones) == CONFIG.items
+
+
+class TestConjunction:
+    """Only crash-at-magic with *every* done post lagged past it fires;
+    every proper sub-conjunction and every decoy stays clean."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return record_baseline()
+
+    def test_magic_crash_alone_is_clean(self, baseline):
+        # the dones beat the crash to the coordinator: no recovery
+        result = replay(with_crash(baseline, MAGIC_CHOICE))
+        assert result.ok and not result.recovered
+
+    @pytest.mark.parametrize("lagged", range(1, 5))
+    def test_partial_ladder_recovers_within_tolerance(self, baseline,
+                                                      lagged):
+        # each lagged done strands one item: the recovery path
+        # re-applies it (store = items + lagged), but the reconciler
+        # writes the drift off — the observable staircase
+        result = replay(with_crash(baseline, MAGIC_CHOICE, lagged))
+        assert result.recovered
+        assert result.done_count == CONFIG.items - lagged
+        assert result.store == CONFIG.items + lagged
+        assert result.store <= CONFIG.items + CONFIG.drift_tolerance
+
+    def test_full_conjunction_fires_the_invariant(self, baseline):
+        result = replay(with_crash(baseline, MAGIC_CHOICE,
+                                   CONFIG.items))
+        assert result.recovered
+        assert result.done_count == 0
+        assert result.store == 2 * CONFIG.items
+        assert result.store > CONFIG.items + CONFIG.drift_tolerance
+
+    @pytest.mark.parametrize("choice", [
+        c for c in range(1, len(MENU) + 1) if c != MAGIC_CHOICE])
+    def test_every_decoy_is_clean_even_fully_lagged(self, baseline,
+                                                    choice):
+        result = replay(with_crash(baseline, choice, CONFIG.items))
+        assert CONFIG.items - CONFIG.drift_tolerance <= result.store \
+            <= CONFIG.items + CONFIG.drift_tolerance, (choice, result)
+
+
+class TestTarget:
+    def test_target_classifies_the_conjunction_as_invariant(self):
+        target = make_recovery_bug_target()
+        baseline = record_baseline()
+        records = with_crash(baseline, MAGIC_CHOICE, CONFIG.items)
+        outcome = target(ReplaySource(records, strict=False))
+        assert outcome.failed and outcome.kind == "invariant"
+        assert "double-counted" in outcome.message
+        assert outcome.fault_picks == {
+            f"crash@{WORKER}": f"t={MAGIC:g}"}
+
+    def test_target_baseline_passes(self):
+        target = make_recovery_bug_target()
+        outcome = target(DefaultSource())
+        assert not outcome.failed and outcome.kind == "ok"
+
+    def test_caller_fault_plan_is_not_mutated(self):
+        plan = FaultPlan()
+        make_recovery_bug_target(faults=plan)
+        assert not plan.crash_choices

@@ -104,3 +104,41 @@ class TestComposedSearchSpace:
 
         crashed = target(RecordingSource(PickCrash()))
         assert outcome.fingerprint != crashed.fingerprint
+
+
+class TestResolvedFaults:
+    """``FaultPlan.resolved_faults()`` reports how each menu resolved,
+    with the same keys/labels the ``"fault"`` choice points carry —
+    the coverage signal's fault context and the artifact's
+    ``fault_picks`` field both come from it."""
+
+    def test_picks_mirror_menu_resolutions(self):
+        plan = (FaultPlan()
+                .crash_choice(2, [1e-4, 5e-4])
+                .partition_choice([[0], [1]], starts=[2e-4]))
+
+        class Script(DefaultSource):
+            def choose(self, point):
+                if point.key == "crash@2":
+                    return 2          # second time: 5e-4
+                return 0              # partition: none
+
+        plan.resolve_choices(Script())
+        assert plan.resolved_faults() == {
+            "crash@2": "t=0.0005",
+            "partition@0": "none",
+        }
+
+    def test_no_source_resolves_everything_to_none(self):
+        plan = FaultPlan().crash_choice(1, [1e-4])
+        plan.resolve_choices(None)
+        assert plan.resolved_faults() == {"crash@1": "none"}
+
+    def test_outcome_carries_fault_picks(self):
+        plan = FaultPlan().crash_choice(2, [1e-4, 5e-4])
+        params = MachineParams(topology=UniformTopology(3), reliable=True)
+        target = make_ordering_bug_target(n_images=3, params=params,
+                                          faults=plan)
+        outcome = target(DefaultSource())
+        assert outcome.fault_picks == {"crash@2": "none"}
+        assert outcome.to_json()["fault_picks"] == {"crash@2": "none"}

@@ -1,0 +1,131 @@
+"""Fuzzing-service tests: target specs, inline determinism, the worker
+pool, finding verification/persistence, and the committed findings
+artifact (which must keep replaying as the engine evolves)."""
+
+import os
+
+import pytest
+
+from repro.explore import Schedule, check_replay_determinism
+from repro.explore.fuzz import (
+    FuzzConfig,
+    FuzzService,
+    TargetSpec,
+)
+
+ORDERING_SPEC = TargetSpec(
+    "repro.apps.ordering_bug:make_ordering_bug_target", {})
+
+COMMITTED_FINDING = os.path.join(
+    os.path.dirname(__file__), os.pardir, "data", "findings",
+    "invariant-f8d9bad3cbfc.json")
+
+
+class TestTargetSpec:
+    def test_build_and_json_round_trip(self):
+        spec = TargetSpec.from_json(ORDERING_SPEC.to_json())
+        target = spec.build()
+        from repro.explore.schedule import DefaultSource
+        assert not target(DefaultSource()).failed
+
+    def test_rejects_malformed_factory(self):
+        with pytest.raises(ValueError):
+            TargetSpec("no.colon.here").build()
+
+
+class TestInlineService:
+    def _run(self, **overrides):
+        kwargs = dict(budget=200, workers=0, seed=0, sync_every=25,
+                      max_findings=1, minimize_budget=120)
+        kwargs.update(overrides)
+        return FuzzService(ORDERING_SPEC, FuzzConfig(**kwargs)).run()
+
+    def test_finds_ordering_bug_verified(self):
+        report = self._run()
+        assert report.found
+        finding = report.findings[0]
+        assert finding.kind == "invariant"
+        assert finding.verified
+        assert finding.minimized.nonzero_choices() <= 3
+        assert report.schedules_run <= 200
+        assert report.corpus_size > 0
+        assert report.coverage_features > 0
+
+    def test_deterministic_for_a_seed(self):
+        a, b = self._run(), self._run()
+        assert a.schedules_run == b.schedules_run
+        assert ([f.fingerprint for f in a.findings]
+                == [f.fingerprint for f in b.findings])
+        assert a.first_find_at == b.first_find_at
+
+    def test_max_findings_caps_collection(self):
+        report = self._run(max_findings=1, budget=300)
+        assert len(report.findings) == 1
+
+    def test_findings_persist_and_replay_from_disk(self, tmp_path):
+        findings_dir = str(tmp_path / "findings")
+        report = FuzzService(
+            ORDERING_SPEC,
+            FuzzConfig(budget=200, workers=0, seed=0, max_findings=1,
+                       minimize_budget=120),
+            findings_dir=findings_dir).run()
+        assert report.found
+        path = report.findings[0].path
+        assert path and os.path.exists(path)
+        loaded = Schedule.load(path)
+        # the artifact embeds everything replay needs (ordering_bug has
+        # no fault menus, so its fault plan is legitimately absent)
+        assert loaded.outcome["kind"] == "invariant"
+        assert loaded.lag_steps >= 2
+        target = ORDERING_SPEC.build()
+        assert check_replay_determinism(target, loaded, times=2)
+
+    def test_corpus_resumes_from_disk(self, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        first = FuzzService(
+            ORDERING_SPEC, FuzzConfig(budget=60, workers=0, seed=0),
+            corpus_dir=corpus_dir)
+        first.run()
+        assert len(first.corpus) > 0
+        resumed = FuzzService(
+            ORDERING_SPEC, FuzzConfig(budget=1, workers=0, seed=1),
+            corpus_dir=corpus_dir)
+        assert (resumed.corpus.fingerprints()
+                == first.corpus.fingerprints())
+        # resumed coverage is seeded from the corpus entries
+        assert len(resumed.coverage) > 0
+
+
+class TestPoolService:
+    def test_two_workers_find_and_verify(self):
+        config = FuzzConfig(budget=300, workers=2, seed=0,
+                            sync_every=25, max_findings=1,
+                            minimize_budget=120)
+        report = FuzzService(ORDERING_SPEC, config).run()
+        assert report.workers == 2
+        assert report.found
+        finding = report.findings[0]
+        assert finding.verified and finding.kind == "invariant"
+        # pool findings replay in the parent like inline ones
+        target = ORDERING_SPEC.build()
+        assert check_replay_determinism(target, finding.minimized,
+                                        times=2)
+
+
+class TestCommittedFinding:
+    """The repo ships one recovery-bug finding produced by the service;
+    it must replay bit-identically from its JSON alone (also exercised
+    by the CI fuzz-smoke job)."""
+
+    def test_replays_and_reproduces_the_failure(self):
+        from repro.apps.recovery_bug import make_recovery_bug_target
+        schedule = Schedule.load(COMMITTED_FINDING)
+        assert schedule.outcome["kind"] == "invariant"
+        # minimization carried the replay metadata onto the artifact
+        assert schedule.fault_plan["crash_choices"]
+        assert schedule.lag_steps == 4
+        target = make_recovery_bug_target()
+        assert check_replay_determinism(target, schedule, times=2)
+        outcome = target(schedule.source(strict=True))
+        assert outcome.failed and outcome.kind == "invariant"
+        assert "double-counted" in outcome.message

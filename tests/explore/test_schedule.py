@@ -6,6 +6,7 @@ import pytest
 
 from repro.sim.engine import ChoicePoint
 from repro.explore.schedule import (
+    SCHEDULE_SCHEMA,
     ChoiceRecord,
     DefaultSource,
     RecordingSource,
@@ -117,6 +118,43 @@ class TestSchedule:
     def test_version_check(self):
         with pytest.raises(ValueError):
             Schedule.from_json({"version": 99, "choices": []})
+
+    def test_schema_field_emitted(self):
+        doc = self._schedule().to_json()
+        assert doc["schema"] == SCHEDULE_SCHEMA
+
+    def test_future_schema_refused(self):
+        doc = self._schedule().to_json()
+        doc["schema"] = SCHEDULE_SCHEMA + 1
+        with pytest.raises(ValueError, match="schema"):
+            Schedule.from_json(doc)
+        doc["schema"] = "not-an-int"
+        with pytest.raises(ValueError):
+            Schedule.from_json(doc)
+
+    def test_legacy_artifact_without_schema_loads(self):
+        # pre-schema artifacts are treated as schema 1 (compatible)
+        doc = self._schedule().to_json()
+        del doc["schema"]
+        back = Schedule.from_json(doc)
+        assert back.records == self._schedule().records
+
+    def test_fingerprint_tracks_replay_inputs_only(self):
+        sched = self._schedule()
+        twin = Schedule(list(sched.records), meta={"other": 1},
+                        outcome={"kind": "x"}, lag_steps=4,
+                        lag_slack=0.5)
+        # meta/outcome are not replay inputs; records and lag are
+        assert twin.fingerprint() == sched.fingerprint()
+        other = Schedule(
+            [sched.records[0].replace((sched.records[0].choice + 1)
+                                      % sched.records[0].n),
+             *sched.records[1:]],
+            lag_steps=4, lag_slack=0.5)
+        assert other.fingerprint() != sched.fingerprint()
+        relagged = Schedule(list(sched.records), lag_steps=5,
+                            lag_slack=0.5)
+        assert relagged.fingerprint() != sched.fingerprint()
 
     def test_nonzero_choices(self):
         assert self._schedule().nonzero_choices() == 2

@@ -1,0 +1,85 @@
+"""Fuzzing-service acceptance (DESIGN.md §15): coverage-guided search
+must beat a blind single-process random walk by an order of magnitude
+on both seeded bugs, at equal seeds and in the same choice space, and
+every finding must replay deterministically from its JSON artifact.
+
+The measured gap (see EXPERIMENTS.md) is ~19-27x depending on the
+random-walk cap; the assertion keeps 2x slack below the measured floor
+so engine-timing drift fails loudly only when the mechanism actually
+degrades.
+"""
+
+import pytest
+
+from repro.explore import Explorer, RandomWalkStrategy, Schedule, \
+    check_replay_determinism
+from repro.explore.fuzz import FuzzConfig, FuzzService, TargetSpec
+
+#: the two seeded bugs, as picklable target specs
+SPECS = {
+    "ordering_bug": TargetSpec(
+        "repro.apps.ordering_bug:make_ordering_bug_target", {}),
+    "recovery_bug": TargetSpec(
+        "repro.apps.recovery_bug:make_recovery_bug_target", {}),
+}
+SEEDS = (0, 1, 2, 3)
+LAG_STEPS = 4          # both searchers face the same quantized space
+RW_CAP = 2000          # unfound random walks are charged the full cap
+FUZZ_BUDGET = 1500
+
+
+class TestCoverageGuidedBeatsRandomWalk:
+    @pytest.fixture(scope="class")
+    def totals(self, tmp_path_factory):
+        findings_root = tmp_path_factory.mktemp("findings")
+        rw_total = 0
+        fuzz_total = 0
+        artifacts = []
+        for name, spec in sorted(SPECS.items()):
+            target = spec.build()
+            for seed in SEEDS:
+                explorer = Explorer(target, budget=RW_CAP,
+                                    minimize=False)
+                report = explorer.run_strategy(RandomWalkStrategy(
+                    seed=seed, lag_steps=LAG_STEPS))
+                rw_total += (report.found_at + 1 if report.found
+                             else RW_CAP)
+
+                service = FuzzService(
+                    spec,
+                    # sync_every=10: the inline loop stops on chunk
+                    # boundaries, so coarse chunks would overcharge the
+                    # fuzzer for schedules it never needed (the search
+                    # trajectory itself is chunk-size independent)
+                    FuzzConfig(budget=FUZZ_BUDGET, workers=0,
+                               seed=seed, lag_steps=LAG_STEPS,
+                               max_findings=1, minimize_budget=300,
+                               sync_every=10),
+                    findings_dir=str(findings_root / f"{name}-{seed}"))
+                fuzz_report = service.run()
+                assert fuzz_report.found, (
+                    f"{name} seed {seed}: coverage-guided search "
+                    f"missed the seeded bug in {FUZZ_BUDGET} schedules")
+                finding = fuzz_report.findings[0]
+                assert finding.verified, (name, seed,
+                                          finding.to_json())
+                fuzz_total += fuzz_report.schedules_run
+                artifacts.append((spec, finding.path))
+        return rw_total, fuzz_total, artifacts
+
+    def test_at_least_ten_x_fewer_schedules(self, totals):
+        rw_total, fuzz_total, _ = totals
+        ratio = rw_total / fuzz_total
+        assert ratio >= 10.0, (
+            f"coverage-guided fuzzing spent {fuzz_total} schedules vs "
+            f"random walk's {rw_total} (ratio {ratio:.1f}x < 10x)")
+
+    def test_every_finding_replays_from_its_artifact(self, totals):
+        _, _, artifacts = totals
+        assert artifacts
+        for spec, path in artifacts:
+            schedule = Schedule.load(path)
+            target = spec.build()
+            assert check_replay_determinism(target, schedule, times=2)
+            outcome = target(schedule.source(strict=True))
+            assert outcome.failed and outcome.kind == "invariant"
